@@ -1,0 +1,41 @@
+#ifndef HDIDX_BENCH_BENCH_COMMON_H_
+#define HDIDX_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace hdidx::bench {
+
+/// Run scale for the reproduction benches.
+///
+/// quick (default): reduced dataset cardinalities and query counts so every
+/// bench finishes in seconds — the experiment *shape* is preserved.
+/// full (REPRO_SCALE=full): the paper's cardinalities and 500 queries;
+/// minutes per bench.
+inline bool FullScale() {
+  const char* env = std::getenv("REPRO_SCALE");
+  return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+/// Picks the quick or full value.
+inline size_t Scaled(size_t quick, size_t full) {
+  return FullScale() ? full : quick;
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_reference) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", paper_reference.c_str());
+  std::printf("Scale: %s (set REPRO_SCALE=full for paper-scale runs)\n",
+              FullScale() ? "full" : "quick");
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+}  // namespace hdidx::bench
+
+#endif  // HDIDX_BENCH_BENCH_COMMON_H_

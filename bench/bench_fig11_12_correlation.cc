@@ -1,0 +1,113 @@
+// E5 / Figures 11-12: correlation diagrams between measured and predicted
+// per-query page accesses for the resampled index (two memory budgets),
+// plus the cutoff index for contrast.
+//
+// Paper shape: resampled predictions cluster around the diagonal (tighter
+// for the larger memory), the cutoff diagram shows no correlation at all.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/cutoff.h"
+#include "core/hupper.h"
+#include "core/resampled.h"
+#include "data/generators.h"
+#include "index/bulk_loader.h"
+#include "index/knn.h"
+#include "io/paged_file.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+void PrintDiagram(const std::vector<double>& measured,
+                  const std::vector<double>& predicted) {
+  const double max_m = *std::max_element(measured.begin(), measured.end());
+  const double max_p = *std::max_element(predicted.begin(), predicted.end());
+  const double max_v = std::max(max_m, max_p) * 1.0001;
+  const int kGrid = 24;
+  std::vector<std::vector<int>> grid(kGrid, std::vector<int>(kGrid, 0));
+  for (size_t i = 0; i < measured.size(); ++i) {
+    const int x = static_cast<int>(measured[i] / max_v * kGrid);
+    const int y = static_cast<int>(predicted[i] / max_v * kGrid);
+    ++grid[y][x];
+  }
+  for (int y = kGrid - 1; y >= 0; --y) {
+    std::printf("    |");
+    for (int x = 0; x < kGrid; ++x) {
+      std::printf("%c", grid[y][x] == 0 ? (x == y ? '.' : ' ')
+                                        : (grid[y][x] < 3 ? 'o' : 'O'));
+    }
+    std::printf("\n");
+  }
+  std::printf("    +");
+  for (int x = 0; x < kGrid; ++x) std::printf("-");
+  std::printf("  (x: measured, y: predicted, '.': ideal diagonal)\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace hdidx;
+  bench::PrintHeader(
+      "Figures 11-12: correlation diagrams for the resampled index",
+      "Lang & Singh, SIGMOD 2001, Section 5.2, Figures 11 and 12");
+
+  const size_t n = bench::Scaled(30000, 275465);
+  const size_t q = bench::Scaled(80, 500);
+  const data::Dataset dataset = data::Texture60Surrogate(n, /*seed=*/41);
+  const io::DiskModel disk;
+  const index::TreeTopology topology =
+      index::TreeTopology::FromDisk(dataset.size(), dataset.dim(), disk);
+
+  common::Rng rng(42);
+  const workload::QueryWorkload workload =
+      workload::QueryWorkload::Create(dataset, q, /*k=*/21, &rng);
+
+  index::BulkLoadOptions full;
+  full.topology = &topology;
+  const index::RTree tree = index::BulkLoadInMemory(dataset, full);
+  const std::vector<double> measured = index::CountSphereLeafAccesses(
+      tree, workload.queries(), workload.radii(), nullptr);
+
+  struct Config {
+    const char* figure;
+    size_t memory;
+  };
+  const Config configs[] = {
+      {"Figure 11 analogue (larger memory)", bench::Scaled(1100u, 10000u)},
+      {"Figure 12 analogue (smaller memory)", bench::Scaled(300u, 1000u)},
+  };
+  for (const Config& config : configs) {
+    io::PagedFile file = io::PagedFile::FromDataset(dataset, disk);
+    core::ResampledParams params;
+    params.memory_points = config.memory;
+    params.h_upper = core::ChooseHupper(topology, config.memory);
+    params.seed = 43;
+    const core::PredictionResult r =
+        core::PredictWithResampledTree(&file, topology, workload, params);
+    std::printf("\n%s: M=%zu, h_upper=%zu, correlation r=%.3f\n",
+                config.figure, config.memory, params.h_upper,
+                common::PearsonCorrelation(r.per_query_accesses, measured));
+    PrintDiagram(measured, r.per_query_accesses);
+  }
+
+  // Contrast: the cutoff predictor's diagram "showed no correlation at all".
+  {
+    io::PagedFile file = io::PagedFile::FromDataset(dataset, disk);
+    core::CutoffParams params;
+    params.memory_points = bench::Scaled(1100u, 10000u);
+    params.h_upper = core::ChooseHupper(topology, params.memory_points);
+    params.seed = 43;
+    const core::PredictionResult r =
+        core::PredictWithCutoffTree(&file, topology, workload, params);
+    std::printf("\nCutoff for contrast: correlation r=%.3f (paper: none)\n",
+                common::PearsonCorrelation(r.per_query_accesses, measured));
+  }
+  std::printf("\nPaper shape: resampled correlates strongly (slightly less "
+              "with less\nmemory); cutoff does not.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E8 / Figure 13: determining the optimal page size (LANDSAT/TEXTURE60).
+//
+// Paper shape: predicted and measured 21-NN I/O-cost curves track each
+// other across page sizes and share their minimum (64 KB on LANDSAT); the
+// prediction takes minutes instead of the hours of repeated index builds.
+
+#include <cstdio>
+
+#include "apps/page_size_tuner.h"
+#include "bench_common.h"
+#include "data/generators.h"
+
+int main() {
+  using namespace hdidx;
+  bench::PrintHeader("Figure 13: determining the optimal page size (LANDSAT)",
+                     "Lang & Singh, SIGMOD 2001, Section 6.1, Figure 13");
+
+  const size_t n = bench::Scaled(25000, 275465);
+  const data::Dataset dataset = data::Texture60Surrogate(n, /*seed=*/71);
+
+  apps::PageSizeTunerConfig config;
+  // The paper sweeps 8-256 KB; the sweep here extends further because the
+  // surrogate's tighter clusters shift the cost minimum to larger pages
+  // (the reproduced shape is the U-curve and the predicted/measured
+  // agreement on its minimum, not the absolute 64 KB).
+  config.page_sizes_bytes = {8192,   16384,  32768,   65536,  131072,
+                             262144, 524288, 1048576, 2097152};
+  config.memory_points = bench::Scaled(4000u, 10000u);
+  config.num_queries = bench::Scaled(60u, 500u);
+  config.k = 21;
+  config.seed = 72;
+
+  const auto points = apps::TunePageSize(dataset, config);
+  std::printf("%10s %12s %12s %14s %14s\n", "page KB", "pred acc",
+              "meas acc", "pred cost(s)", "meas cost(s)");
+  for (const auto& p : points) {
+    std::printf("%10zu %12.1f %12.1f %14.3f %14.3f\n", p.page_bytes / 1024,
+                p.predicted_accesses, p.measured_accesses, p.predicted_cost_s,
+                p.measured_cost_s);
+  }
+  std::printf("\nPredicted optimum: %zu KB, measured optimum: %zu KB\n",
+              apps::BestPageSize(points, false) / 1024,
+              apps::BestPageSize(points, true) / 1024);
+  std::printf("Paper shape: U-shaped cost curves whose minimum the "
+              "prediction locates\n(64 KB for the real LANDSAT).\n");
+  return 0;
+}

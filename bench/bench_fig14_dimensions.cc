@@ -1,0 +1,44 @@
+// E9 / Figure 14: index page accesses for 21-NN queries vs the number of
+// dimensions stored in the index (LANDSAT), under the optimal multi-step
+// search of Seidl-Kriegel.
+//
+// Paper shape: page accesses increase with the indexed dimensionality
+// (page capacity drops), with prediction tracking measurement closely.
+
+#include <cstdio>
+
+#include "apps/dim_selector.h"
+#include "bench_common.h"
+#include "data/generators.h"
+
+int main() {
+  using namespace hdidx;
+  bench::PrintHeader(
+      "Figure 14: feature page accesses vs indexed dimensionality (LANDSAT)",
+      "Lang & Singh, SIGMOD 2001, Section 6.2, Figure 14");
+
+  const size_t n = bench::Scaled(20000, 275465);
+  const data::Dataset dataset = data::Texture60Surrogate(n, /*seed=*/81);
+
+  apps::DimSelectorConfig config;
+  config.index_dims = {6, 12, 18, 24, 30, 36, 48, 60};
+  config.memory_points = bench::Scaled(3000u, 10000u);
+  config.num_queries = bench::Scaled(50u, 500u);
+  config.k = 21;
+  config.seed = 82;
+
+  const auto points = apps::EvaluateIndexDims(dataset, config);
+  std::printf("%8s %11s %11s %11s %11s %10s %10s\n", "dims", "pred acc",
+              "meas acc", "pred refine", "meas refine", "pred s", "meas s");
+  for (const auto& p : points) {
+    std::printf("%8zu %11.1f %11.1f %11.1f %11.1f %10.3f %10.3f\n",
+                p.index_dims, p.predicted_accesses, p.measured_accesses,
+                p.predicted_refinements, p.measured_refinements,
+                p.predicted_cost_s, p.measured_cost_s);
+  }
+  std::printf("\nPaper shape: index accesses grow with the indexed "
+              "dimensionality (smaller\npage capacity) while object-server "
+              "refinements shrink (better filtering);\nprediction resembles "
+              "measurement closely for both access types.\n");
+  return 0;
+}

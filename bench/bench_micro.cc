@@ -1,0 +1,105 @@
+// E12: google-benchmark microbenchmarks of the library's hot paths —
+// bulk loading, MINDIST evaluation, sphere counting, box counting, and the
+// compensation arithmetic.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/fractal.h"
+#include "common/random.h"
+#include "core/compensation.h"
+#include "data/generators.h"
+#include "geometry/distance.h"
+#include "index/bulk_loader.h"
+#include "index/knn.h"
+#include "index/topology.h"
+
+namespace {
+
+using namespace hdidx;
+
+data::Dataset MakeData(size_t n, size_t dim) {
+  common::Rng rng(1);
+  data::ClusteredConfig config;
+  config.num_points = n;
+  config.dim = dim;
+  config.num_clusters = 16;
+  return data::GenerateClustered(config, &rng);
+}
+
+void BM_BulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const auto data = MakeData(n, dim);
+  const index::TreeTopology topo(n, 33, 16);
+  for (auto _ : state) {
+    index::BulkLoadOptions options;
+    options.topology = &topo;
+    benchmark::DoNotOptimize(index::BulkLoadInMemory(data, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BulkLoad)->Args({5000, 16})->Args({5000, 60})->Args({20000, 16});
+
+void BM_MinDist(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto data = MakeData(256, dim);
+  const auto box = data.Bounds();
+  common::Rng rng(2);
+  std::vector<float> q(dim);
+  for (auto& v : q) v = static_cast<float>(rng.NextUniform(-1, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::SquaredMinDist(q, box));
+  }
+}
+BENCHMARK(BM_MinDist)->Arg(16)->Arg(64)->Arg(360);
+
+void BM_SphereCounting(benchmark::State& state) {
+  const size_t n = 20000;
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto data = MakeData(n, dim);
+  const index::TreeTopology topo(n, 33, 16);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  const auto tree = index::BulkLoadInMemory(data, options);
+  common::Rng rng(3);
+  for (auto _ : state) {
+    const auto center = data.row(rng.NextBounded(n));
+    benchmark::DoNotOptimize(tree.CountSphereAccesses(center, 0.2));
+  }
+}
+BENCHMARK(BM_SphereCounting)->Arg(16)->Arg(60);
+
+void BM_ExactKnnScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto data = MakeData(n, 60);
+  common::Rng rng(4);
+  for (auto _ : state) {
+    const auto q = data.row(rng.NextBounded(n));
+    benchmark::DoNotOptimize(index::ExactKthDistance(data, q, 21, 0.0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExactKnnScan)->Arg(10000)->Arg(50000);
+
+void BM_BoxCounting(benchmark::State& state) {
+  const auto data = MakeData(static_cast<size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::EstimateFractalDimensions(data, 8));
+  }
+}
+BENCHMARK(BM_BoxCounting)->Arg(10000)->Arg(40000);
+
+void BM_Compensation(benchmark::State& state) {
+  double zeta = 0.01;
+  for (auto _ : state) {
+    zeta = zeta < 0.99 ? zeta + 1e-6 : 0.01;
+    benchmark::DoNotOptimize(core::CompensationDelta(33.0, zeta, 60));
+  }
+}
+BENCHMARK(BM_Compensation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E6 / Table 4: prediction accuracy of the uniform, fractal, and resampled
+// models on TEXTURE60.
+//
+// Paper: measured 681 leaf accesses of 8,641 pages; uniform predicts all
+// 8,641 (+1169%), fractal 5,892 (+765%), resampled 701 (+3%). The shape to
+// reproduce: uniform saturates at all pages, fractal misses by a large
+// factor, resampled lands within a few percent.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "baselines/fractal.h"
+#include "baselines/uniform_model.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/hupper.h"
+#include "core/resampled.h"
+#include "data/generators.h"
+#include "index/bulk_loader.h"
+#include "index/knn.h"
+#include "io/paged_file.h"
+#include "workload/query_workload.h"
+
+int main() {
+  using namespace hdidx;
+  bench::PrintHeader(
+      "Table 4: prediction accuracy for different models (TEXTURE60)",
+      "Lang & Singh, SIGMOD 2001, Section 5.3, Table 4");
+
+  const size_t n = bench::Scaled(30000, 275465);
+  const size_t q = bench::Scaled(80, 500);
+  const data::Dataset dataset = data::Texture60Surrogate(n, /*seed=*/51);
+  const io::DiskModel disk;
+  const index::TreeTopology topology =
+      index::TreeTopology::FromDisk(dataset.size(), dataset.dim(), disk);
+
+  common::Rng rng(52);
+  const workload::QueryWorkload workload =
+      workload::QueryWorkload::Create(dataset, q, /*k=*/21, &rng);
+
+  index::BulkLoadOptions full;
+  full.topology = &topology;
+  const index::RTree tree = index::BulkLoadInMemory(dataset, full);
+  const double measured = common::Mean(index::CountSphereLeafAccesses(
+      tree, workload.queries(), workload.radii(), nullptr));
+  std::printf("VAMSplit R*-tree with %zu leaf pages; measured average: %.0f "
+              "leaf accesses\n\n",
+              topology.NumLeaves(), measured);
+
+  baselines::UniformModelParams uniform;
+  uniform.num_points = dataset.size();
+  uniform.dim = dataset.dim();
+  uniform.num_leaf_pages = topology.NumLeaves();
+  uniform.k = workload.k();
+  const auto uniform_result = baselines::PredictUniformModel(uniform);
+
+  const auto dims = baselines::EstimateFractalDimensions(dataset, 10);
+  baselines::FractalModelParams fractal;
+  fractal.num_points = dataset.size();
+  fractal.num_leaf_pages = topology.NumLeaves();
+  fractal.k = workload.k();
+  const auto fractal_result = baselines::PredictFractalModel(dims, fractal);
+
+  io::PagedFile file = io::PagedFile::FromDataset(dataset, disk);
+  core::ResampledParams params;
+  params.memory_points = bench::Scaled(1100u, 10000u);
+  params.h_upper = core::ChooseHupper(topology, params.memory_points);
+  params.seed = 53;
+  const double resampled =
+      core::PredictWithResampledTree(&file, topology, workload, params)
+          .avg_leaf_accesses;
+
+  std::printf("%-12s %16s %12s\n", "Method", "Pages accessed", "Rel. error");
+  auto row = [&](const char* name, double pred) {
+    std::printf("%-12s %16.0f %11.0f%%\n", name, pred,
+                100 * common::RelativeError(pred, measured));
+  };
+  row("Uniform", uniform_result.predicted_accesses);
+  row("Fractal", fractal_result.predicted_accesses);
+  row("Resampled", resampled);
+
+  std::printf("\nEstimated fractal dimensions: D0=%.3f, D2=%.3f (paper "
+              "measured 0.094/0.004\non the real TEXTURE60 - the surrogate's "
+              "are higher, see EXPERIMENTS.md)\n",
+              dims.d0, dims.d2);
+  std::printf("Paper shape: |uniform err| >> |fractal err| >> |resampled "
+              "err|; only the\nsampling technique is usable in this "
+              "high-dimensional setting.\n");
+  return 0;
+}

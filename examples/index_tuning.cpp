@@ -1,0 +1,55 @@
+// Index tuning: the two applications of Section 6 on one dataset.
+//
+// A practitioner wants to deploy a similarity index over image texture
+// features and must pick (a) the page size and (b) how many (KLT-ordered)
+// dimensions to index, storing the rest in an object server. Building a
+// full index for every candidate takes hours; the prediction model answers
+// both questions in seconds.
+
+#include <cstdio>
+
+#include "apps/dim_selector.h"
+#include "apps/page_size_tuner.h"
+#include "data/generators.h"
+
+int main() {
+  using namespace hdidx;
+
+  std::printf("Generating LANDSAT (TEXTURE60) surrogate (20,000 x 60)...\n");
+  const data::Dataset dataset = data::Texture60Surrogate(20000, /*seed=*/3);
+
+  // ---- Application 1: optimal page size (Figure 13) ----
+  apps::PageSizeTunerConfig page_config;
+  page_config.page_sizes_bytes = {8192, 16384, 32768, 65536, 131072, 262144};
+  page_config.memory_points = 4000;
+  page_config.num_queries = 60;
+  page_config.k = 21;
+  std::printf("\n-- Optimal page size (21-NN query cost) --\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "page KB", "pred acc",
+              "meas acc", "pred s", "meas s");
+  const auto page_points = apps::TunePageSize(dataset, page_config);
+  for (const auto& p : page_points) {
+    std::printf("%10zu %12.1f %12.1f %12.3f %12.3f\n", p.page_bytes / 1024,
+                p.predicted_accesses, p.measured_accesses, p.predicted_cost_s,
+                p.measured_cost_s);
+  }
+  std::printf("Predicted optimum: %zu KB, measured optimum: %zu KB\n",
+              apps::BestPageSize(page_points, false) / 1024,
+              apps::BestPageSize(page_points, true) / 1024);
+
+  // ---- Application 2: optimal indexed dimensionality (Figure 14) ----
+  apps::DimSelectorConfig dim_config;
+  dim_config.index_dims = {6, 12, 18, 24, 30, 42, 60};
+  dim_config.memory_points = 4000;
+  dim_config.num_queries = 60;
+  dim_config.k = 21;
+  std::printf("\n-- Index page accesses vs indexed dimensions --\n");
+  std::printf("%10s %12s %12s %12s\n", "dims", "pred acc", "meas acc",
+              "pages");
+  const auto dim_points = apps::EvaluateIndexDims(dataset, dim_config);
+  for (const auto& p : dim_points) {
+    std::printf("%10zu %12.1f %12.1f %12zu\n", p.index_dims,
+                p.predicted_accesses, p.measured_accesses, p.num_leaf_pages);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Range queries and confidence intervals: predicting box-query page counts
+// with error bars.
+//
+// A user tunes a spatial-feature store that serves axis-aligned range
+// filters rather than k-NN. The same sampling model predicts the page
+// accesses; running it over several independent sample draws yields a
+// Student-t confidence interval, so the tuner knows how much to trust the
+// estimate before committing to a layout.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/confidence.h"
+#include "core/mini_index.h"
+#include "core/predictor.h"
+#include "data/generators.h"
+#include "index/bulk_loader.h"
+#include "index/topology.h"
+#include "workload/range_workload.h"
+
+int main() {
+  using namespace hdidx;
+
+  const data::Dataset dataset = data::Texture48Surrogate(15000, /*seed=*/11);
+  const io::DiskModel disk;
+  const index::TreeTopology topology =
+      index::TreeTopology::FromDisk(dataset.size(), dataset.dim(), disk);
+  std::printf("TEXTURE48 surrogate: %zu x %zu, %zu leaf pages\n",
+              dataset.size(), dataset.dim(), topology.NumLeaves());
+
+  // Ground truth for three range-query selectivities.
+  index::BulkLoadOptions full;
+  full.topology = &topology;
+  const index::RTree tree = index::BulkLoadInMemory(dataset, full);
+
+  std::printf("\n%12s %10s %24s %10s\n", "target card", "measured",
+              "predicted (95% CI)", "rel.err");
+  for (size_t cardinality : {20u, 100u, 500u}) {
+    common::Rng rng(12 + cardinality);
+    const workload::RangeWorkload workload =
+        workload::RangeWorkload::CreateWithCardinality(dataset, 50,
+                                                       cardinality, &rng);
+    const double measured =
+        common::Mean(core::MeasureLeafAccesses(tree, workload, nullptr));
+
+    const auto ci = core::EstimateWithConfidence(
+        [&](uint64_t seed) {
+          core::MiniIndexParams params;
+          params.sampling_fraction = 0.15;
+          params.seed = seed;
+          return core::PredictWithMiniIndex(dataset, topology, workload,
+                                            params)
+              .avg_leaf_accesses;
+        },
+        /*runs=*/6, /*base_seed=*/13);
+
+    std::printf("%12zu %10.1f %10.1f [%6.1f, %6.1f] %9.1f%%\n", cardinality,
+                measured, ci.mean, ci.lo, ci.hi,
+                100 * common::RelativeError(ci.mean, measured));
+  }
+  std::printf("\nThe interval width is the price of the 15%% sample; "
+              "tighter bounds cost\na larger sample or the resampled "
+              "technique's second pass.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef HDIDX_APPS_DIM_SELECTOR_H_
+#define HDIDX_APPS_DIM_SELECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hdidx::apps {
+
+/// Configuration of the indexed-dimensionality study (Section 6.2 /
+/// Figure 14): index only the first d' (KLT-ordered) dimensions and keep
+/// the rest in an object server, searching with the optimal multi-step k-NN
+/// algorithm of Seidl and Kriegel.
+struct DimSelectorConfig {
+  /// Candidate numbers of indexed dimensions. Must be <= data dim.
+  std::vector<size_t> index_dims;
+  size_t memory_points = 10000;
+  size_t num_queries = 500;
+  size_t k = 21;
+  uint64_t seed = 1;
+};
+
+/// One sweep point: index page accesses and object-server refinements
+/// under the multi-step search.
+struct DimPoint {
+  size_t index_dims = 0;
+  double predicted_accesses = 0.0;
+  double measured_accesses = 0.0;
+  size_t h_upper = 0;
+  size_t num_leaf_pages = 0;
+  /// Candidates the optimal multi-step algorithm must refine against the
+  /// object server: points whose reduced-space distance is within the
+  /// full-space k-NN radius (Seidl-Kriegel's minimal candidate set). Each
+  /// refinement is one random object-server page access.
+  double measured_refinements = 0.0;
+  /// Sampling-based refinement estimate: candidates in the M-point sample,
+  /// scaled by 1/zeta (classic sample-based selectivity estimation).
+  double predicted_refinements = 0.0;
+  /// Total per-query I/O seconds (index accesses + refinements, all
+  /// random) for measurement and prediction.
+  double measured_cost_s = 0.0;
+  double predicted_cost_s = 0.0;
+};
+
+/// Runs the sweep. The multi-step search must fetch every index entry whose
+/// reduced-space MINDIST is within the *full-space* k-NN distance (the
+/// filter step's conservative radius), so both measurement and prediction
+/// count reduced-dimensional leaf pages against spheres with full-space
+/// radii. Page capacity grows as dimensions shrink, which is why the page
+/// accesses in Figure 14 increase with the indexed dimensionality.
+///
+/// `data` must already be KLT-ordered (variance decreasing with dimension
+/// index) — the paper's datasets are stored that way.
+std::vector<DimPoint> EvaluateIndexDims(const data::Dataset& data,
+                                        const DimSelectorConfig& config);
+
+}  // namespace hdidx::apps
+
+#endif  // HDIDX_APPS_DIM_SELECTOR_H_

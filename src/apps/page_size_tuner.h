@@ -1,0 +1,49 @@
+#ifndef HDIDX_APPS_PAGE_SIZE_TUNER_H_
+#define HDIDX_APPS_PAGE_SIZE_TUNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hdidx::apps {
+
+/// Configuration of the page-size tuning study (Section 6.1 / Figure 13).
+struct PageSizeTunerConfig {
+  /// Candidate page sizes in bytes (the paper sweeps 8..256 KB).
+  std::vector<size_t> page_sizes_bytes = {8192,  16384, 32768,
+                                          65536, 131072, 262144};
+  /// Memory size M in points for the predictor.
+  size_t memory_points = 10000;
+  size_t num_queries = 500;
+  size_t k = 21;
+  uint64_t seed = 1;
+};
+
+/// One sweep point: predicted and measured average leaf accesses and the
+/// resulting per-query I/O cost (all accesses random: seek + one page
+/// transfer at that page size).
+struct PageSizePoint {
+  size_t page_bytes = 0;
+  double predicted_accesses = 0.0;
+  double measured_accesses = 0.0;
+  double predicted_cost_s = 0.0;
+  double measured_cost_s = 0.0;
+  /// h_upper the predictor used (0 when the tree was too flat for the
+  /// phased predictor and the basic mini-index model was used instead).
+  size_t h_upper = 0;
+};
+
+/// Runs the sweep: for every page size, predicts the query cost with the
+/// resampled technique and measures it on a fully built index. The paper's
+/// point is that both curves share the same minimum (64 KB for LANDSAT) but
+/// the predicted curve costs minutes instead of hours.
+std::vector<PageSizePoint> TunePageSize(const data::Dataset& data,
+                                        const PageSizeTunerConfig& config);
+
+/// Page size minimizing the chosen cost column.
+size_t BestPageSize(const std::vector<PageSizePoint>& points, bool measured);
+
+}  // namespace hdidx::apps
+
+#endif  // HDIDX_APPS_PAGE_SIZE_TUNER_H_

@@ -1,0 +1,148 @@
+#include "baselines/fractal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "geometry/bounding_box.h"
+
+namespace hdidx::baselines {
+
+namespace {
+
+/// 64-bit mix for combining cell coordinates into a hash key
+/// (SplitMix64 finalizer).
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+FractalDimensions EstimateFractalDimensions(const data::Dataset& data,
+                                            int max_levels) {
+  assert(!data.empty());
+  assert(max_levels >= 2);
+  const size_t n = data.size();
+  const size_t d = data.dim();
+
+  // Normalize to the unit cube.
+  const geometry::BoundingBox bounds = data.Bounds();
+  std::vector<double> lo(d), inv_extent(d);
+  for (size_t k = 0; k < d; ++k) {
+    lo[k] = bounds.lo()[k];
+    const double extent = bounds.Extent(k);
+    inv_extent[k] = extent > 0.0 ? 1.0 / extent : 0.0;
+  }
+
+  FractalDimensions result;
+  std::vector<double> level_log_occupied;  // log2 N(eps_j)
+  std::vector<double> level_log_s2;        // log2 sum p_i^2
+  std::vector<int> levels;
+
+  std::unordered_map<uint64_t, uint32_t> cells;
+  for (int j = 1; j <= max_levels; ++j) {
+    const double cells_per_axis = std::pow(2.0, j);
+    cells.clear();
+    cells.reserve(std::min<size_t>(n, 1u << 20));
+    for (size_t i = 0; i < n; ++i) {
+      const auto row = data.row(i);
+      uint64_t key = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(j);
+      for (size_t k = 0; k < d; ++k) {
+        const double t =
+            (static_cast<double>(row[k]) - lo[k]) * inv_extent[k];
+        const double clamped = std::clamp(t, 0.0, 1.0 - 1e-12);
+        const uint64_t cell = static_cast<uint64_t>(clamped * cells_per_axis);
+        key = Mix(key ^ (cell + 0x165667b19e3779f9ULL * (k + 1)));
+      }
+      ++cells[key];
+    }
+    double s2 = 0.0;
+    for (const auto& [key, count] : cells) {
+      const double p = static_cast<double>(count) / static_cast<double>(n);
+      s2 += p * p;
+    }
+    result.occupied_cells.push_back(cells.size());
+    level_log_occupied.push_back(std::log2(static_cast<double>(cells.size())));
+    level_log_s2.push_back(std::log2(s2));
+    levels.push_back(j);
+    // Finer levels add nothing once nearly every point is alone in its
+    // cell; stop early.
+    if (cells.size() > n * 9 / 10) break;
+  }
+
+  // Fit over the non-saturated region: levels where occupancy is still
+  // growing and below half the points.
+  std::vector<double> fit_x0, fit_y0, fit_x2, fit_y2;
+  for (size_t idx = 0; idx < levels.size(); ++idx) {
+    const bool saturated =
+        result.occupied_cells[idx] > n / 2 ||
+        (idx > 0 &&
+         result.occupied_cells[idx] == result.occupied_cells[idx - 1]);
+    if (saturated && fit_x0.size() >= 2) break;
+    // x = log2(1/eps) = j for D0; x = log2(eps) = -j for D2.
+    fit_x0.push_back(static_cast<double>(levels[idx]));
+    fit_y0.push_back(level_log_occupied[idx]);
+    fit_x2.push_back(-static_cast<double>(levels[idx]));
+    fit_y2.push_back(level_log_s2[idx]);
+    result.fitted_levels.push_back(levels[idx]);
+  }
+  if (fit_x0.size() < 2) {
+    // Degenerate data (single cell at every level): dimension 0.
+    result.d0 = 0.0;
+    result.d2 = 0.0;
+    result.d2_intercept_log2 = level_log_s2.empty() ? 0.0 : level_log_s2[0];
+    return result;
+  }
+
+  const common::LineFit fit0 = common::FitLine(fit_x0, fit_y0);
+  const common::LineFit fit2 = common::FitLine(fit_x2, fit_y2);
+  result.d0 = std::max(0.0, fit0.slope);
+  result.d2 = std::max(0.0, fit2.slope);
+  result.d2_intercept_log2 = fit2.intercept;
+  return result;
+}
+
+FractalModelResult PredictFractalModel(const FractalDimensions& dims,
+                                       const FractalModelParams& params) {
+  assert(params.num_points > 1);
+  assert(params.num_leaf_pages > 0);
+  FractalModelResult result;
+
+  const double n = static_cast<double>(params.num_points);
+  const double pages = static_cast<double>(params.num_leaf_pages);
+
+  if (dims.d2 <= 1e-6 || dims.d0 <= 1e-6) {
+    // The power laws are degenerate; the model cannot produce a radius.
+    result.applicable = false;
+    result.predicted_accesses = pages;
+    return result;
+  }
+
+  // Radius: solve (N-1) * 2^c2 * r^D2 = k in log2 space.
+  const double log2_r =
+      (std::log2(static_cast<double>(params.k) / (n - 1.0)) -
+       dims.d2_intercept_log2) /
+      dims.d2;
+  result.radius = std::exp2(log2_r);
+
+  // Square pages tiling the D0-dimensional support.
+  result.page_side = std::pow(1.0 / pages, 1.0 / dims.d0);
+  result.effective_dims = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(dims.d0)));
+
+  const double per_dim =
+      std::min(1.0, result.page_side + 2.0 * result.radius);
+  result.predicted_accesses = std::min(
+      pages,
+      pages * std::pow(per_dim, static_cast<double>(result.effective_dims)));
+  return result;
+}
+
+}  // namespace hdidx::baselines

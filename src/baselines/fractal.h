@@ -1,0 +1,66 @@
+#ifndef HDIDX_BASELINES_FRACTAL_H_
+#define HDIDX_BASELINES_FRACTAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hdidx::baselines {
+
+/// Fractal-dimension estimates of a dataset, produced by grid box counting
+/// over dyadic resolutions (cell side 2^-j of the normalized data cube).
+struct FractalDimensions {
+  /// Box-counting (Hausdorff) dimension D0: slope of log N(eps) vs
+  /// log(1/eps) over the fitted linear region.
+  double d0 = 0.0;
+  /// Correlation dimension D2: slope of log sum(p_i^2) vs log(eps).
+  double d2 = 0.0;
+  /// Intercept of the D2 fit in log2 space: sum(p_i^2) ~ 2^intercept *
+  /// eps^D2. Used to calibrate the k-NN radius law.
+  double d2_intercept_log2 = 0.0;
+  /// Grid levels j used for the fits.
+  std::vector<int> fitted_levels;
+  /// Occupied-cell counts per level (diagnostics).
+  std::vector<size_t> occupied_cells;
+};
+
+/// Estimates D0 and D2 with grid box counting at levels j = 1..max_levels
+/// (cells of side 2^-j after normalizing the data MBR to the unit cube).
+/// The fit automatically excludes saturated fine levels where almost every
+/// point sits alone in its cell. O(N * d * max_levels).
+FractalDimensions EstimateFractalDimensions(const data::Dataset& data,
+                                            int max_levels);
+
+/// The fractal-dimensionality cost model the paper compares against in
+/// Table 4 (Korn, Pagel, Faloutsos [22] style, building on Faloutsos-Kamel
+/// [12] and Belussi-Faloutsos).
+///
+/// Reconstruction documented in DESIGN.md: the expected k-NN radius comes
+/// from the correlation power law nb(r) = (N-1) * 2^c2 * r^D2 calibrated
+/// with the measured intercept c2; pages are assumed square within the
+/// D0-dimensional data support, side (1/P)^(1/D0); accesses follow the
+/// Minkowski-sum probability over round(D0) effective split dimensions.
+struct FractalModelParams {
+  size_t num_points = 0;
+  size_t num_leaf_pages = 0;
+  size_t k = 1;
+};
+
+struct FractalModelResult {
+  double radius = 0.0;
+  double page_side = 0.0;
+  size_t effective_dims = 0;
+  double predicted_accesses = 0.0;
+  /// False when the estimate is unusable (too few points relative to the
+  /// dimensionality — the paper notes the approach "is not applicable
+  /// anymore" for its 360- and 617-dimensional datasets).
+  bool applicable = true;
+};
+
+FractalModelResult PredictFractalModel(const FractalDimensions& dims,
+                                       const FractalModelParams& params);
+
+}  // namespace hdidx::baselines
+
+#endif  // HDIDX_BASELINES_FRACTAL_H_

@@ -1,0 +1,116 @@
+#include "baselines/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hdidx::baselines {
+
+GridHistogram::GridHistogram(const data::Dataset& data, size_t bucket_budget)
+    : dim_(data.dim()), bounds_(data.Bounds()) {
+  assert(!data.empty());
+  assert(bucket_budget >= 1);
+  // Per-dimension resolution from the budget; collapses to 1 in high d.
+  resolution_ = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(std::pow(
+             static_cast<double>(bucket_budget),
+             1.0 / static_cast<double>(dim_)))));
+
+  cell_lo_.resize(dim_);
+  cell_width_.resize(dim_);
+  size_t total_cells = 1;
+  for (size_t k = 0; k < dim_; ++k) {
+    cell_lo_[k] = bounds_.lo()[k];
+    const double extent = bounds_.Extent(k);
+    cell_width_[k] =
+        extent > 0.0 ? extent / static_cast<double>(resolution_) : 1.0;
+    total_cells *= resolution_;
+  }
+  counts_.assign(total_cells, 0);
+
+  std::vector<size_t> coords(dim_);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (size_t k = 0; k < dim_; ++k) {
+      const double t = (static_cast<double>(row[k]) - cell_lo_[k]) /
+                       cell_width_[k];
+      coords[k] = std::min<size_t>(resolution_ - 1,
+                                   static_cast<size_t>(std::max(0.0, t)));
+    }
+    ++counts_[CellIndex(coords)];
+  }
+}
+
+size_t GridHistogram::CellIndex(const std::vector<size_t>& coords) const {
+  size_t index = 0;
+  for (size_t k = 0; k < dim_; ++k) {
+    index = index * resolution_ + coords[k];
+  }
+  return index;
+}
+
+double GridHistogram::EmptyCellFraction() const {
+  size_t empty = 0;
+  for (uint32_t c : counts_) empty += c == 0 ? 1 : 0;
+  return static_cast<double>(empty) / static_cast<double>(counts_.size());
+}
+
+double GridHistogram::EstimateBoxCardinality(
+    const geometry::BoundingBox& box) const {
+  if (box.empty()) return 0.0;
+  // Per dimension: the range of overlapped cells and, per cell, the
+  // covered fraction. Enumerate the (bounded) cell product space.
+  std::vector<size_t> first(dim_), last(dim_);
+  for (size_t k = 0; k < dim_; ++k) {
+    const double lo = (static_cast<double>(box.lo()[k]) - cell_lo_[k]) /
+                      cell_width_[k];
+    const double hi = (static_cast<double>(box.hi()[k]) - cell_lo_[k]) /
+                      cell_width_[k];
+    if (hi < 0.0 || lo > static_cast<double>(resolution_)) return 0.0;
+    first[k] = static_cast<size_t>(
+        std::clamp(std::floor(lo), 0.0, static_cast<double>(resolution_ - 1)));
+    last[k] = static_cast<size_t>(std::clamp(
+        std::floor(hi), 0.0, static_cast<double>(resolution_ - 1)));
+  }
+
+  double total = 0.0;
+  std::vector<size_t> coords = first;
+  for (;;) {
+    // Covered volume fraction of this cell.
+    double fraction = 1.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      const double cell_a =
+          cell_lo_[k] + static_cast<double>(coords[k]) * cell_width_[k];
+      const double cell_b = cell_a + cell_width_[k];
+      const double overlap =
+          std::min(cell_b, static_cast<double>(box.hi()[k])) -
+          std::max(cell_a, static_cast<double>(box.lo()[k]));
+      fraction *= std::clamp(overlap / cell_width_[k], 0.0, 1.0);
+    }
+    total += fraction * counts_[CellIndex(coords)];
+
+    // Advance the multi-index.
+    size_t k = dim_;
+    while (k-- > 0) {
+      if (coords[k] < last[k]) {
+        ++coords[k];
+        std::fill(coords.begin() + static_cast<ptrdiff_t>(k) + 1,
+                  coords.end(), 0);
+        for (size_t j = k + 1; j < dim_; ++j) coords[j] = first[j];
+        break;
+      }
+      if (k == 0) return total;
+    }
+  }
+}
+
+size_t GridHistogram::ExactBoxCardinality(const data::Dataset& data,
+                                          const geometry::BoundingBox& box) {
+  size_t count = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (box.Contains(data.row(i))) ++count;
+  }
+  return count;
+}
+
+}  // namespace hdidx::baselines

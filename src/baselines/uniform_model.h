@@ -1,0 +1,53 @@
+#ifndef HDIDX_BASELINES_UNIFORM_MODEL_H_
+#define HDIDX_BASELINES_UNIFORM_MODEL_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "index/topology.h"
+
+namespace hdidx::baselines {
+
+/// The uniformity-based cost model the paper compares against in Table 4
+/// (Weber, Schek, Blott [33] / Berchtold, Böhm, Keim, Kriegel [4] style).
+///
+/// Assumptions the model makes — and which the paper shows break down in
+/// high dimensions:
+///  * data uniformly distributed in the (normalized) data cube;
+///  * pages created by recursively splitting the space *in the middle*:
+///    with P leaf pages, d' = ceil(log2 P) splits are spread round-robin
+///    over the embedding dimensions, so a page spans 2^-s_i of dimension i
+///    after s_i splits;
+///  * the expected k-NN sphere radius follows from equating the expected
+///    number of neighbors inside the sphere with k:
+///    r = (k / (N * V_unit(d)))^(1/d);
+///  * a page is accessed iff the sphere intersects it, estimated with the
+///    Minkowski-sum probability prod_i min(1, extent_i + 2r).
+struct UniformModelParams {
+  size_t num_points = 0;
+  size_t dim = 0;
+  /// Number of leaf pages of the index being modeled.
+  size_t num_leaf_pages = 0;
+  /// k of the k-NN queries.
+  size_t k = 1;
+};
+
+struct UniformModelResult {
+  /// Expected k-NN sphere radius in the normalized unit cube.
+  double radius = 0.0;
+  /// Number of dimensions the model splits (d' = ceil(log2 P)).
+  size_t split_dims = 0;
+  /// Probability that a query sphere intersects a page.
+  double access_probability = 0.0;
+  /// Predicted number of leaf page accesses per query.
+  double predicted_accesses = 0.0;
+};
+
+/// Evaluates the model. The prediction saturates at num_leaf_pages — the
+/// paper's observation that from moderate dimensionality onwards the
+/// uniform model predicts that *every* page is accessed.
+UniformModelResult PredictUniformModel(const UniformModelParams& params);
+
+}  // namespace hdidx::baselines
+
+#endif  // HDIDX_BASELINES_UNIFORM_MODEL_H_

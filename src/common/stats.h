@@ -1,0 +1,58 @@
+#ifndef HDIDX_COMMON_STATS_H_
+#define HDIDX_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hdidx::common {
+
+/// Result of a simple ordinary-least-squares line fit y = slope * x +
+/// intercept. Used by the fractal-dimension estimators, which fit log-log
+/// plots of box counts against grid resolution.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Pearson correlation coefficient of (x, y); 1.0 for a perfect line.
+  double r = 0.0;
+  size_t n = 0;
+};
+
+/// Fits a least-squares line through (x[i], y[i]). Requires x.size() ==
+/// y.size(); with fewer than two points the fit is degenerate (slope 0).
+LineFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population variance (divide by n); 0 for fewer than two elements.
+double Variance(const std::vector<double>& v);
+
+/// Pearson correlation between two equally sized vectors; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Relative error (predicted - actual) / actual as used throughout the
+/// paper's tables: negative values are underestimations, positive values are
+/// overestimations. Returns 0 when actual == 0.
+double RelativeError(double predicted, double actual);
+
+/// Accumulates mean and variance in one pass (Welford's algorithm). Used by
+/// the bulk loader's maximum-variance split, which must find the dimension
+/// of highest variance over millions of coordinates without a second pass.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 with fewer than two observations.
+  double variance() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace hdidx::common
+
+#endif  // HDIDX_COMMON_STATS_H_

@@ -1,0 +1,26 @@
+#include "core/compensation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdidx::core {
+
+double CompensationGrowthPerDim(double capacity, double zeta) {
+  if (zeta >= 1.0) return 1.0;
+  // Clamp into the theorem's domain: the full page must hold more than one
+  // point and the sampled page at least slightly more than one, otherwise
+  // there is no extent to compare. A sampled page at the clamp (1.5 points)
+  // caps the per-dimension growth at 5*(C-1)/(C+1) < 5 — unbounded growth
+  // from near-single-point pages would dominate every prediction.
+  const double c = std::max(capacity, 1.5);
+  const double kMinSampledPoints = 1.5;
+  const double c_zeta = std::max(c * zeta, kMinSampledPoints);
+  return ((c_zeta + 1.0) * (c - 1.0)) / ((c_zeta - 1.0) * (c + 1.0));
+}
+
+double CompensationDelta(double capacity, double zeta, size_t dim) {
+  return std::pow(CompensationGrowthPerDim(capacity, zeta),
+                  static_cast<double>(dim));
+}
+
+}  // namespace hdidx::core

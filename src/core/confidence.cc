@@ -1,0 +1,79 @@
+#include "core/confidence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace hdidx::core {
+
+namespace {
+
+// Two-sided critical values t_{alpha/2, df} for df = 1..30; beyond 30 the
+// normal quantile is used.
+constexpr double kT90[] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+                           1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761,
+                           1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+                           1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701,
+                           1.699, 1.697};
+constexpr double kT95[] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                           2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                           2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                           2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                           2.045,  2.042};
+constexpr double kT99[] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+                           3.355,  3.250, 3.169, 3.106, 3.055, 3.012, 2.977,
+                           2.947,  2.921, 2.898, 2.878, 2.861, 2.845, 2.831,
+                           2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763,
+                           2.756,  2.750};
+
+}  // namespace
+
+double StudentTCritical(size_t runs, double confidence) {
+  assert(runs >= 2);
+  const size_t df = runs - 1;
+  const double* table;
+  double normal;
+  if (confidence >= 0.985) {
+    table = kT99;
+    normal = 2.576;
+  } else if (confidence >= 0.925) {
+    table = kT95;
+    normal = 1.960;
+  } else {
+    table = kT90;
+    normal = 1.645;
+  }
+  if (df <= 30) return table[df - 1];
+  return normal;
+}
+
+ConfidenceInterval EstimateWithConfidence(
+    const std::function<double(uint64_t)>& predict, size_t runs,
+    uint64_t base_seed, double confidence) {
+  assert(runs >= 2);
+  std::vector<double> values(runs);
+  for (size_t r = 0; r < runs; ++r) {
+    values[r] = predict(base_seed + r);
+  }
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  const double mean = sum / static_cast<double>(runs);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  const double stddev =
+      std::sqrt(ss / static_cast<double>(runs - 1));  // sample stddev
+  const double half = StudentTCritical(runs, confidence) * stddev /
+                      std::sqrt(static_cast<double>(runs));
+
+  ConfidenceInterval ci;
+  ci.mean = mean;
+  ci.stddev = stddev;
+  ci.lo = mean - half;
+  ci.hi = mean + half;
+  ci.runs = runs;
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace hdidx::core

@@ -1,0 +1,42 @@
+#ifndef HDIDX_CORE_CONFIDENCE_H_
+#define HDIDX_CORE_CONFIDENCE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace hdidx::core {
+
+/// A mean estimate with a Student-t confidence interval.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  /// Sample standard deviation across runs.
+  double stddev = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t runs = 0;
+  double confidence = 0.95;
+};
+
+/// Repeats a randomized prediction across independent sample draws and
+/// reports the mean with a confidence interval.
+///
+/// Sampling-based estimators come with sampling error; the related work the
+/// paper builds on (Lipton, Naughton, Schneider [25]) frames selectivity
+/// estimation exactly this way. Running the predictor with `runs`
+/// independent seeds and applying the Student-t interval gives the error
+/// bar the single-number prediction hides.
+///
+/// `predict` is invoked with seeds base_seed, base_seed+1, ... and must
+/// return the prediction (e.g. avg leaf accesses). `confidence` supports
+/// 0.90, 0.95 and 0.99; `runs` must be at least 2.
+ConfidenceInterval EstimateWithConfidence(
+    const std::function<double(uint64_t)>& predict, size_t runs,
+    uint64_t base_seed, double confidence = 0.95);
+
+/// Two-sided Student-t critical value for `runs - 1` degrees of freedom at
+/// the given confidence level (0.90 / 0.95 / 0.99). Exposed for tests.
+double StudentTCritical(size_t runs, double confidence);
+
+}  // namespace hdidx::core
+
+#endif  // HDIDX_CORE_CONFIDENCE_H_

@@ -1,0 +1,76 @@
+#ifndef HDIDX_CORE_COST_MODEL_H_
+#define HDIDX_CORE_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "index/topology.h"
+#include "io/disk_model.h"
+#include "io/io_stats.h"
+
+namespace hdidx::core {
+
+/// Analytic I/O-cost formulas of Sections 4.1-4.6 (Equations 1-5), used by
+/// the paper's Figures 9 and 10 to compare the approaches across memory
+/// sizes and dimensionalities without running anything.
+///
+/// All counts are in the paper's units: `page_seeks` random repositionings
+/// and `page_transfers` page-sized transfers, convertible to seconds with a
+/// DiskModel. Fractional intermediate values are accumulated in doubles and
+/// reported as rounded IoStats.
+
+/// Inputs shared by all formulas.
+struct CostModelInputs {
+  /// Number of data points N.
+  size_t num_points = 0;
+  /// Dimensionality d (determines points per page B and page capacities).
+  size_t dim = 0;
+  /// Memory size M in points.
+  size_t memory_points = 0;
+  /// Number of query points q.
+  size_t num_query_points = 500;
+  io::DiskModel disk;
+
+  /// Points per disk page (the paper's B).
+  size_t PointsPerPage() const { return disk.PointsPerPage(dim); }
+
+  /// Topology of the index these costs refer to.
+  index::TreeTopology Topology() const {
+    return index::TreeTopology::FromDisk(num_points, dim, disk);
+  }
+};
+
+/// Equation 2: cost of reading q query points at random positions,
+/// q * (t_seek + t_xfer).
+io::IoStats ReadQueryPointsCost(const CostModelInputs& in);
+
+/// cost_ScanDataset = t_seek + ceil(N/B) * t_xfer.
+io::IoStats ScanDatasetCost(const CostModelInputs& in);
+
+/// Equation 1: best-case cost of bulk-loading the on-disk index
+/// (cost_BuildTreeLevel(height, 0, N)).
+///
+/// Derivation (the recursive definition lives in the paper's tech report;
+/// this is the reconstruction documented in DESIGN.md): partitioning a
+/// range of n > M points for fanout f performs ceil(log2(f)) best-case
+/// Hoare passes over the range, each reading and writing n points
+/// sequentially in memory-sized chunks (2*ceil(n/B) transfers,
+/// 2*ceil(n/M) seeks); once a range fits in memory the whole subtree below
+/// it costs one read and one write of the range. Writing the directory
+/// pages adds one transfer per directory node.
+io::IoStats OnDiskBuildCost(const CostModelInputs& in);
+
+/// Equation 3: cost_Cutoff = cost_ReadQueryPoints + cost_ScanDataset.
+io::IoStats CutoffCost(const CostModelInputs& in);
+
+/// Equation 4: the resampling pass for a given upper-tree height:
+/// ceil(N*sigma_lower/M) chunks, each costing one sequential data-file read
+/// of M/sigma_lower points plus k area writes of M/B pages total.
+io::IoStats ResamplingPassCost(const CostModelInputs& in, size_t h_upper);
+
+/// Equation 5: cost_Resampled = cost_ReadQueryPoints + cost_ScanDataset +
+/// cost_Resampling + cost_BuildLowerSubtrees.
+io::IoStats ResampledCost(const CostModelInputs& in, size_t h_upper);
+
+}  // namespace hdidx::core
+
+#endif  // HDIDX_CORE_COST_MODEL_H_

@@ -1,0 +1,52 @@
+#ifndef HDIDX_CORE_CUTOFF_H_
+#define HDIDX_CORE_CUTOFF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/predictor.h"
+#include "geometry/bounding_box.h"
+#include "index/topology.h"
+#include "io/paged_file.h"
+#include "workload/query_workload.h"
+
+namespace hdidx::core {
+
+/// Parameters of the cutoff index tree (Section 4.3).
+struct CutoffParams {
+  /// Memory size M in points; the upper-tree sample holds min(M, N) points.
+  size_t memory_points = 0;
+  /// Height of the upper tree (Section 4.5 discusses the choice).
+  size_t h_upper = 2;
+  /// Seed for the sampling steps.
+  uint64_t seed = 1;
+};
+
+/// The cutoff prediction (Figure 5): build the upper tree on an M-point
+/// sample, grow its leaves by the compensation factor, then synthesize each
+/// lower tree *without further I/O* by replaying the bulk loader's
+/// maximum-variance splits inside the grown leaf under a within-page
+/// uniformity assumption (Figure 4), and count query-sphere intersections
+/// with the synthesized data pages.
+///
+/// Its I/O cost is just cost_ReadQueryPoints + cost_ScanDataset
+/// (Equation 3) — the cheapest of all predictors — but because the lower
+/// levels are derived from uniformity alone, accuracy degrades on clustered
+/// high-dimensional data (the paper's Table 3 shows -64%..-16% errors and
+/// uncorrelated per-query predictions).
+PredictionResult PredictWithCutoffTree(io::PagedFile* file,
+                                       const index::TreeTopology& topology,
+                                       const workload::QueryRegions& queries,
+                                       const CutoffParams& params);
+
+/// Synthesizes the data-page boxes the bulk loader would produce for
+/// `full_points` uniformly distributed points whose MBR is `grown_leaf` at
+/// full-tree level `level`. Exposed for tests.
+void SynthesizeUniformLeaves(const geometry::BoundingBox& grown_leaf,
+                             double full_points, size_t level,
+                             const index::TreeTopology& topology,
+                             std::vector<geometry::BoundingBox>* out);
+
+}  // namespace hdidx::core
+
+#endif  // HDIDX_CORE_CUTOFF_H_

@@ -1,0 +1,39 @@
+#ifndef HDIDX_CORE_DYNAMIC_MINI_INDEX_H_
+#define HDIDX_CORE_DYNAMIC_MINI_INDEX_H_
+
+#include <cstdint>
+
+#include "core/predictor.h"
+#include "data/dataset.h"
+#include "index/rstar.h"
+#include "workload/query_workload.h"
+
+namespace hdidx::core {
+
+/// Parameters of the sampling model applied to a *dynamically built*
+/// R*-tree.
+struct DynamicMiniIndexParams {
+  /// Sampling fraction zeta in (0, 1].
+  double sampling_fraction = 0.1;
+  /// Whether to grow the sampled leaf pages by the compensation factor.
+  bool compensate = true;
+  /// Seed for drawing the sample (the insertion order is the sample order).
+  uint64_t seed = 1;
+};
+
+/// Section 3.1 applied to the insertion-built R*-tree: "the bulk-loading
+/// algorithm of a given index structure can be simply reused" — for a
+/// dynamic structure the construction algorithm *is* the insertion
+/// algorithm, so the mini-index runs the same R* insertions on a
+/// zeta-sample with the data-page capacity reduced to ~C*zeta (directory
+/// capacity unchanged: the number of leaves, and hence the directory
+/// structure above them, is preserved). Leaf pages are then grown by the
+/// Theorem 1 compensation factor and query-region intersections counted.
+PredictionResult PredictDynamicRStar(const data::Dataset& data,
+                                     const index::RStarTree::Options& options,
+                                     const workload::QueryRegions& queries,
+                                     const DynamicMiniIndexParams& params);
+
+}  // namespace hdidx::core
+
+#endif  // HDIDX_CORE_DYNAMIC_MINI_INDEX_H_

@@ -1,0 +1,186 @@
+#include "core/resampled.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/compensation.h"
+#include "core/hupper.h"
+#include "geometry/distance.h"
+#include "index/bulk_loader.h"
+#include "index/rtree.h"
+
+namespace hdidx::core {
+
+namespace {
+
+/// Index of the grown upper leaf a point belongs to: the first box
+/// containing it, else the box with minimal MINDIST (squared, with early
+/// abandoning against the best so far).
+size_t AssignToBox(std::span<const float> point,
+                   const std::vector<geometry::BoundingBox>& boxes) {
+  size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t b = 0; b < boxes.size(); ++b) {
+    const auto& lo = boxes[b].lo();
+    const auto& hi = boxes[b].hi();
+    double d2 = 0.0;
+    for (size_t k = 0; k < point.size(); ++k) {
+      double diff = 0.0;
+      if (point[k] < lo[k]) {
+        diff = static_cast<double>(lo[k]) - point[k];
+      } else if (point[k] > hi[k]) {
+        diff = static_cast<double>(point[k]) - hi[k];
+      }
+      d2 += diff * diff;
+      if (d2 >= best_d2) break;
+    }
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = b;
+      if (d2 == 0.0) break;  // containment: no closer box exists
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PredictionResult PredictWithResampledTree(
+    io::PagedFile* file, const index::TreeTopology& topology,
+    const workload::QueryRegions& queries, const ResampledParams& params) {
+  assert(params.memory_points > 0);
+  assert(params.h_upper >= 1 && params.h_upper < topology.height());
+
+  PredictionResult result;
+  result.h_upper = params.h_upper;
+  result.sigma_upper = SigmaUpper(topology, params.memory_points);
+
+  const io::IoStats before = file->stats();
+  common::Rng rng(params.seed);
+  const size_t n = file->size();
+  const size_t dim = file->dim();
+  const size_t m = params.memory_points;
+
+  // Steps 2-4: query-point reads plus the scan that yields the upper
+  // sample.
+  const data::Dataset sample =
+      ChargeScanAndDrawSample(file, queries.size(), m, &rng);
+
+  // Step 5: upper tree with grown leaves; k = number of upper leaf pages.
+  const UpperTreeResult upper =
+      BuildGrownUpperTree(sample, topology, params.h_upper, result.sigma_upper);
+  const size_t k = upper.grown_leaves.size();
+  const double sigma_lower = std::min(
+      1.0, static_cast<double>(k) * static_cast<double>(m) /
+               static_cast<double>(n));
+  result.sigma_lower = sigma_lower;
+
+  // Steps 6-7: the resampling pass (Figure 8). Sample positions are chosen
+  // up front; the pass reads the file sequentially in chunks of M sampled
+  // points, distributes each chunk among the k consecutive disk areas, and
+  // pays Equation 4's seeks/transfers through the PagedFile charging.
+  std::vector<size_t> resample_rows;
+  rng.SampleIndices(
+      n,
+      static_cast<size_t>(
+          std::llround(sigma_lower * static_cast<double>(n))),
+      &resample_rows);
+
+  io::PagedFile areas(dim, file->disk());
+  areas.Resize(k * m);
+  std::vector<size_t> area_fill(k, 0);  // points stored per area
+  const auto raw = file->raw();
+
+  size_t next = 0;
+  std::vector<std::vector<float>> chunk_groups(k);
+  while (next < resample_rows.size()) {
+    const size_t chunk_begin_row = resample_rows[next];
+    const size_t chunk_count = std::min<size_t>(m, resample_rows.size() - next);
+    const size_t chunk_end_row = resample_rows[next + chunk_count - 1] + 1;
+    // Sequential read over the file span covering this chunk's samples.
+    file->ChargeAccess(chunk_begin_row, chunk_end_row - chunk_begin_row);
+
+    for (auto& group : chunk_groups) group.clear();
+    for (size_t i = 0; i < chunk_count; ++i) {
+      const size_t row = resample_rows[next + i];
+      const std::span<const float> point = raw.subspan(row * dim, dim);
+      const size_t box = AssignToBox(point, upper.grown_leaves);
+      chunk_groups[box].insert(chunk_groups[box].end(), point.begin(),
+                               point.end());
+    }
+    // Write each group to its area; overflow beyond M points per area is
+    // discarded (footnote 5).
+    for (size_t b = 0; b < k; ++b) {
+      const size_t group_points = chunk_groups[b].size() / dim;
+      if (group_points == 0) continue;
+      const size_t space = m - area_fill[b];
+      const size_t take = std::min(group_points, space);
+      if (take > 0) {
+        areas.Write(b * m + area_fill[b], take, chunk_groups[b].data());
+        area_fill[b] += take;
+      }
+    }
+    // The head returns to the data file for the next chunk: next chunk's
+    // read pays its seek.
+    file->InvalidateHead();
+    next += chunk_count;
+  }
+
+  // Steps 8-11: read each area back (k random area reads) and bulk-load the
+  // lower tree in memory; grow its data pages for sigma_lower.
+  std::vector<geometry::BoundingBox> leaves;
+  leaves.reserve(topology.NumLeaves());
+  std::vector<float> area_points;
+  for (size_t b = 0; b < k; ++b) {
+    const size_t count = area_fill[b];
+    if (count == 0) {
+      // No resampled point landed in this box; fall back to the grown upper
+      // leaf itself so the page is not lost from the layout.
+      leaves.push_back(upper.grown_leaves[b]);
+      continue;
+    }
+    area_points.resize(count * dim);
+    areas.InvalidateHead();
+    areas.Read(b * m, count, area_points.data());
+    const data::Dataset lower_points(area_points, dim);
+
+    // Effective sampling ratio of THIS lower tree: what its area actually
+    // holds over the upper tree's estimate of the subtree's full
+    // population. Using the global sigma_lower instead would break
+    // structural similarity whenever an area overflowed M and discarded
+    // points (footnote 5) or the subtree sizes are uneven — the lower tree
+    // would come out with the wrong number of pages. Values above 1 are
+    // legitimate: a grown box can attract more resampled points than the
+    // subtree it models holds, and scaling keeps its page count at the
+    // upper tree's estimate.
+    const double zeta = static_cast<double>(count) /
+                        std::max(1.0, upper.full_points_per_leaf[b]);
+
+    index::BulkLoadOptions options;
+    options.topology = &topology;
+    options.scale = zeta;
+    options.root_level = upper.stop_level;
+    options.stop_level = 1;
+    const index::RTree lower = index::BulkLoadInMemory(lower_points, options);
+
+    for (uint32_t id : lower.leaf_ids()) {
+      const index::RTreeNode& node = lower.node(id);
+      geometry::BoundingBox box = node.box;
+      const double full_capacity = static_cast<double>(node.count) / zeta;
+      box.InflateAboutCenter(CompensationGrowthPerDim(full_capacity, zeta));
+      leaves.push_back(std::move(box));
+    }
+  }
+
+  // Step 12: intersection counting.
+  CountLeafIntersections(leaves, queries, &result);
+  result.io = file->stats() + areas.stats();
+  result.io.page_seeks -= before.page_seeks;
+  result.io.page_transfers -= before.page_transfers;
+  return result;
+}
+
+}  // namespace hdidx::core

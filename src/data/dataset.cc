@@ -1,0 +1,52 @@
+#include "data/dataset.h"
+
+#include <cassert>
+
+namespace hdidx::data {
+
+Dataset::Dataset(size_t dim) : dim_(dim), size_(0) { assert(dim > 0); }
+
+Dataset::Dataset(size_t n, size_t dim)
+    : dim_(dim), size_(n), values_(n * dim, 0.0f) {
+  assert(dim > 0);
+}
+
+Dataset::Dataset(std::vector<float> values, size_t dim)
+    : dim_(dim), size_(values.size() / dim), values_(std::move(values)) {
+  assert(dim > 0);
+  assert(values_.size() % dim_ == 0);
+}
+
+void Dataset::Append(std::span<const float> point) {
+  assert(point.size() == dim_);
+  values_.insert(values_.end(), point.begin(), point.end());
+  ++size_;
+}
+
+void Dataset::Reserve(size_t n) { values_.reserve(n * dim_); }
+
+geometry::BoundingBox Dataset::Bounds() const {
+  return geometry::BoundingBox::OfPoints(values_, size_, dim_);
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& indices) const {
+  Dataset out(dim_);
+  out.Reserve(indices.size());
+  for (size_t i : indices) {
+    assert(i < size_);
+    out.Append(row(i));
+  }
+  return out;
+}
+
+Dataset Dataset::ProjectPrefix(size_t k) const {
+  assert(k > 0 && k <= dim_);
+  Dataset out(k);
+  out.Reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.Append(row(i).subspan(0, k));
+  }
+  return out;
+}
+
+}  // namespace hdidx::data

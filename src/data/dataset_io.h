@@ -1,0 +1,27 @@
+#ifndef HDIDX_DATA_DATASET_IO_H_
+#define HDIDX_DATA_DATASET_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace hdidx::data {
+
+/// Binary on-disk dataset format: a fixed little-endian header
+/// (magic "HDIX", version, point count, dimensionality) followed by the
+/// row-major float payload. This is the file layout the simulated disk scans
+/// assume: N*dim*4 bytes of points packed into 8 KB pages.
+///
+/// Writes `data` to `path`. Returns false and fills `*error` on failure.
+bool WriteDataset(const Dataset& data, const std::string& path,
+                  std::string* error);
+
+/// Reads a dataset previously written by WriteDataset. Returns std::nullopt
+/// and fills `*error` on failure (missing file, bad magic, truncation).
+std::optional<Dataset> ReadDataset(const std::string& path,
+                                   std::string* error);
+
+}  // namespace hdidx::data
+
+#endif  // HDIDX_DATA_DATASET_IO_H_

@@ -1,0 +1,181 @@
+#include "data/transforms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace hdidx::data {
+
+void JacobiEigenSymmetric(std::vector<double> a, size_t n,
+                          std::vector<double>* eigenvalues,
+                          std::vector<double>* eigenvectors) {
+  assert(a.size() == n * n);
+  // v starts as the identity and accumulates the rotations; its columns are
+  // the eigenvectors of the original matrix.
+  std::vector<double> v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diagonal_norm = [&]() {
+    double s = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) s += a[p * n + q] * a[p * n + q];
+    }
+    return std::sqrt(s);
+  };
+
+  const int kMaxSweeps = 64;
+  const double kTolerance = 1e-12;
+  // Scale tolerance by the matrix magnitude so that covariances of very
+  // different scales converge equally.
+  double scale = 0.0;
+  for (size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(a[i * n + i]));
+  const double threshold = kTolerance * std::max(scale, 1.0);
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (off_diagonal_norm() <= threshold) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) <= threshold / static_cast<double>(n * n)) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = 0.5 * (aqq - app) / apq;
+        // Rotation angle via the numerically stable tangent formula.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by decreasing eigenvalue; emit eigenvectors as rows.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+
+  eigenvalues->resize(n);
+  eigenvectors->assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t col = order[i];
+    (*eigenvalues)[i] = a[col * n + col];
+    for (size_t k = 0; k < n; ++k) {
+      (*eigenvectors)[i * n + k] = v[k * n + col];
+    }
+  }
+}
+
+KltTransform KltTransform::Fit(const Dataset& data) {
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  assert(n >= 2);
+
+  KltTransform t;
+  t.mean_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (size_t k = 0; k < d; ++k) t.mean_[k] += row[k];
+  }
+  for (double& m : t.mean_) m /= static_cast<double>(n);
+
+  std::vector<double> cov(d * d, 0.0);
+  std::vector<double> centered(d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    for (size_t k = 0; k < d; ++k) centered[k] = row[k] - t.mean_[k];
+    for (size_t p = 0; p < d; ++p) {
+      const double cp = centered[p];
+      for (size_t q = p; q < d; ++q) cov[p * d + q] += cp * centered[q];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t p = 0; p < d; ++p) {
+    for (size_t q = p; q < d; ++q) {
+      cov[p * d + q] *= inv_n;
+      cov[q * d + p] = cov[p * d + q];
+    }
+  }
+
+  JacobiEigenSymmetric(std::move(cov), d, &t.eigenvalues_, &t.components_);
+  return t;
+}
+
+Dataset KltTransform::Apply(const Dataset& data) const {
+  const size_t d = dim();
+  assert(data.dim() == d);
+  Dataset out(data.size(), d);
+  std::vector<double> centered(d);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (size_t k = 0; k < d; ++k) centered[k] = row[k] - mean_[k];
+    auto out_row = out.mutable_row(i);
+    for (size_t c = 0; c < d; ++c) {
+      double s = 0.0;
+      const double* axis = components_.data() + c * d;
+      for (size_t k = 0; k < d; ++k) s += axis[k] * centered[k];
+      out_row[c] = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+Dataset DftTransform(const Dataset& data) {
+  const size_t d = data.dim();
+  const size_t n = data.size();
+  Dataset out(n, d);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+  // Precompute the cosine/sine tables for all (frequency, sample) pairs.
+  std::vector<double> cos_table(d * d), sin_table(d * d);
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t k = 0; k < d; ++k) {
+      const double angle =
+          -2.0 * M_PI * static_cast<double>(f) * static_cast<double>(k) /
+          static_cast<double>(d);
+      cos_table[f * d + k] = std::cos(angle);
+      sin_table[f * d + k] = std::sin(angle);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.row(i);
+    auto out_row = out.mutable_row(i);
+    size_t slot = 0;
+    // DC component first, then interleaved (Re, Im) of increasing
+    // frequencies until d output slots are filled.
+    for (size_t f = 0; slot < d; ++f) {
+      double re = 0.0, im = 0.0;
+      for (size_t k = 0; k < d; ++k) {
+        re += row[k] * cos_table[f * d + k];
+        im += row[k] * sin_table[f * d + k];
+      }
+      out_row[slot++] = static_cast<float>(re * inv_sqrt_d);
+      if (f > 0 && slot < d) {
+        out_row[slot++] = static_cast<float>(im * inv_sqrt_d);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hdidx::data

@@ -1,0 +1,61 @@
+#ifndef HDIDX_DATA_TRANSFORMS_H_
+#define HDIDX_DATA_TRANSFORMS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hdidx::data {
+
+/// A fitted Karhunen-Loeve transform (principal component analysis).
+///
+/// The paper's COLOR64/TEXTURE datasets are "transformed using KLT": rotated
+/// into the eigenbasis of their covariance matrix so that variance decreases
+/// with dimension index. The dimensionality-selection application (Section
+/// 6.2) relies on this ordering when it indexes a prefix of the dimensions.
+class KltTransform {
+ public:
+  /// Fits the transform to `data`: computes the mean and covariance and
+  /// diagonalizes the covariance with the cyclic Jacobi eigenvalue method.
+  /// Components are ordered by decreasing eigenvalue. O(N d^2 + d^3).
+  static KltTransform Fit(const Dataset& data);
+
+  /// Applies the transform: centers each point and projects it onto the
+  /// eigenbasis. Output dimension i carries the i-th largest variance.
+  Dataset Apply(const Dataset& data) const;
+
+  /// Eigenvalues (variances along the principal axes), decreasing.
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+
+  /// Row-major d x d matrix whose i-th row is the i-th principal axis.
+  const std::vector<double>& components() const { return components_; }
+
+  size_t dim() const { return mean_.size(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> eigenvalues_;
+  std::vector<double> components_;
+};
+
+/// Diagonalizes the symmetric `matrix` (row-major n x n) in place using
+/// cyclic Jacobi rotations. On return `eigenvalues` holds the n eigenvalues
+/// and `eigenvectors` the corresponding orthonormal eigenvectors as rows,
+/// both sorted by decreasing eigenvalue. Exposed for testing.
+void JacobiEigenSymmetric(std::vector<double> matrix, size_t n,
+                          std::vector<double>* eigenvalues,
+                          std::vector<double>* eigenvectors);
+
+/// Discrete Fourier transform magnitudes of each row.
+///
+/// The paper's STOCK360 dataset stores one year of prices per stock
+/// "transformed using DFT". For a length-d real input row this produces a
+/// length-d feature row: [Re(F_0), Re(F_1), Im(F_1), Re(F_2), Im(F_2), ...]
+/// scaled by 1/sqrt(d), i.e. an energy-preserving real repacking of the
+/// first half of the spectrum (the second half is redundant for real
+/// signals).
+Dataset DftTransform(const Dataset& data);
+
+}  // namespace hdidx::data
+
+#endif  // HDIDX_DATA_TRANSFORMS_H_

@@ -1,0 +1,134 @@
+#include "geometry/bounding_box.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdidx::geometry {
+
+BoundingBox::BoundingBox(size_t dim) : lo_(dim), hi_(dim), empty_(true) {}
+
+BoundingBox::BoundingBox(std::vector<float> lo, std::vector<float> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)), empty_(false) {
+  assert(lo_.size() == hi_.size());
+#ifndef NDEBUG
+  for (size_t d = 0; d < lo_.size(); ++d) assert(lo_[d] <= hi_[d]);
+#endif
+}
+
+void BoundingBox::Clear() { empty_ = true; }
+
+void BoundingBox::Extend(std::span<const float> point) {
+  assert(point.size() == lo_.size());
+  if (empty_) {
+    std::copy(point.begin(), point.end(), lo_.begin());
+    std::copy(point.begin(), point.end(), hi_.begin());
+    empty_ = false;
+    return;
+  }
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    lo_[d] = std::min(lo_[d], point[d]);
+    hi_[d] = std::max(hi_[d], point[d]);
+  }
+}
+
+void BoundingBox::ExtendBox(const BoundingBox& other) {
+  assert(other.dim() == dim());
+  if (other.empty_) return;
+  if (empty_) {
+    lo_ = other.lo_;
+    hi_ = other.hi_;
+    empty_ = false;
+    return;
+  }
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    lo_[d] = std::min(lo_[d], other.lo_[d]);
+    hi_[d] = std::max(hi_[d], other.hi_[d]);
+  }
+}
+
+float BoundingBox::Extent(size_t d) const {
+  if (empty_) return 0.0f;
+  return hi_[d] - lo_[d];
+}
+
+double BoundingBox::Volume() const {
+  if (empty_) return 0.0;
+  double v = 1.0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    v *= static_cast<double>(hi_[d] - lo_[d]);
+  }
+  return v;
+}
+
+double BoundingBox::Margin() const {
+  if (empty_) return 0.0;
+  double m = 0.0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    m += static_cast<double>(hi_[d] - lo_[d]);
+  }
+  return m;
+}
+
+float BoundingBox::Center(size_t d) const {
+  return 0.5f * (lo_[d] + hi_[d]);
+}
+
+bool BoundingBox::Contains(std::span<const float> point) const {
+  assert(point.size() == lo_.size());
+  if (empty_) return false;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (point[d] < lo_[d] || point[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  assert(other.dim() == dim());
+  if (empty_ || other.empty_) return false;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (lo_[d] > other.hi_[d] || other.lo_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+void BoundingBox::InflateAboutCenter(double factor) {
+  assert(factor >= 0.0);
+  if (empty_) return;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    const double c = 0.5 * (static_cast<double>(lo_[d]) + hi_[d]);
+    const double half = 0.5 * (static_cast<double>(hi_[d]) - lo_[d]) * factor;
+    lo_[d] = static_cast<float>(c - half);
+    hi_[d] = static_cast<float>(c + half);
+  }
+}
+
+size_t BoundingBox::LongestDimension() const {
+  size_t best = 0;
+  float best_extent = Extent(0);
+  for (size_t d = 1; d < lo_.size(); ++d) {
+    const float e = Extent(d);
+    if (e > best_extent) {
+      best_extent = e;
+      best = d;
+    }
+  }
+  return best;
+}
+
+BoundingBox BoundingBox::Union(const BoundingBox& a, const BoundingBox& b) {
+  BoundingBox u = a;
+  u.ExtendBox(b);
+  return u;
+}
+
+BoundingBox BoundingBox::OfPoints(std::span<const float> points, size_t count,
+                                  size_t dim) {
+  assert(points.size() >= count * dim);
+  BoundingBox box(dim);
+  for (size_t i = 0; i < count; ++i) {
+    box.Extend(points.subspan(i * dim, dim));
+  }
+  return box;
+}
+
+}  // namespace hdidx::geometry

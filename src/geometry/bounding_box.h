@@ -1,0 +1,92 @@
+#ifndef HDIDX_GEOMETRY_BOUNDING_BOX_H_
+#define HDIDX_GEOMETRY_BOUNDING_BOX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hdidx::geometry {
+
+/// A d-dimensional axis-aligned minimal bounding rectangle (MBR).
+///
+/// This is the page geometry object of the whole library: index leaf pages,
+/// directory entries, grown mini-index pages and synthesized cutoff pages are
+/// all BoundingBoxes. Invariant: lo()[i] <= hi()[i] for every dimension of a
+/// non-empty box; an empty (default-constructed or Clear()ed) box contains
+/// nothing and extends nowhere.
+class BoundingBox {
+ public:
+  /// Creates an empty box of dimensionality `dim`.
+  explicit BoundingBox(size_t dim);
+
+  /// Creates a box spanning [lo, hi] per dimension. Requires lo.size() ==
+  /// hi.size() and lo[i] <= hi[i].
+  BoundingBox(std::vector<float> lo, std::vector<float> hi);
+
+  size_t dim() const { return lo_.size(); }
+  bool empty() const { return empty_; }
+
+  const std::vector<float>& lo() const { return lo_; }
+  const std::vector<float>& hi() const { return hi_; }
+
+  /// Resets to the empty box (dimensionality is preserved).
+  void Clear();
+
+  /// Extends the box to cover `point` (size must equal dim()).
+  void Extend(std::span<const float> point);
+
+  /// Extends the box to cover `other` (dimensions must match; empty `other`
+  /// is a no-op).
+  void ExtendBox(const BoundingBox& other);
+
+  /// Side length along dimension `d`; 0 for an empty box.
+  float Extent(size_t d) const;
+
+  /// Product of all side lengths. Degenerate boxes have volume 0.
+  double Volume() const;
+
+  /// Sum of all side lengths (the R*-tree "margin" measure).
+  double Margin() const;
+
+  /// Returns the center coordinate along dimension `d`.
+  float Center(size_t d) const;
+
+  /// True if `point` lies inside the box (inclusive on both sides).
+  bool Contains(std::span<const float> point) const;
+
+  /// True if the two boxes share at least one point. Empty boxes intersect
+  /// nothing.
+  bool Intersects(const BoundingBox& other) const;
+
+  /// Grows the box symmetrically about its center so that every side length
+  /// is multiplied by `factor` (>= 0). The volume is thus multiplied by
+  /// factor^dim. Used to apply the paper's compensation factor delta, whose
+  /// per-dimension growth ratio is passed here.
+  void InflateAboutCenter(double factor);
+
+  /// Index of the dimension with the largest extent (ties broken towards the
+  /// lowest index). Under within-page uniformity this is the
+  /// maximum-variance split dimension used by the cutoff predictor.
+  size_t LongestDimension() const;
+
+  /// Returns the dimension-wise union of `a` and `b`.
+  static BoundingBox Union(const BoundingBox& a, const BoundingBox& b);
+
+  /// Computes the MBR of `count` points laid out contiguously
+  /// (`points[i * dim + d]`).
+  static BoundingBox OfPoints(std::span<const float> points, size_t count,
+                              size_t dim);
+
+  friend bool operator==(const BoundingBox& a, const BoundingBox& b) {
+    return a.empty_ == b.empty_ && a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  std::vector<float> lo_;
+  std::vector<float> hi_;
+  bool empty_;
+};
+
+}  // namespace hdidx::geometry
+
+#endif  // HDIDX_GEOMETRY_BOUNDING_BOX_H_

@@ -1,0 +1,66 @@
+#include "geometry/bounding_sphere.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hdidx::geometry {
+
+BoundingSphere::BoundingSphere(size_t dim) : center_(dim, 0.0f) {
+  assert(dim > 0);
+}
+
+BoundingSphere::BoundingSphere(std::vector<float> center, double radius)
+    : center_(std::move(center)), radius_(radius), empty_(false) {
+  assert(radius >= 0.0);
+}
+
+BoundingSphere BoundingSphere::OfPoints(std::span<const float> points,
+                                        size_t count, size_t dim) {
+  BoundingSphere sphere(dim);
+  if (count == 0) return sphere;
+  std::vector<double> centroid(dim, 0.0);
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t k = 0; k < dim; ++k) centroid[k] += points[i * dim + k];
+  }
+  for (double& c : centroid) c /= static_cast<double>(count);
+  double max_sq = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    double s = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      const double diff = points[i * dim + k] - centroid[k];
+      s += diff * diff;
+    }
+    max_sq = std::max(max_sq, s);
+  }
+  sphere.center_.resize(dim);
+  for (size_t k = 0; k < dim; ++k) {
+    sphere.center_[k] = static_cast<float>(centroid[k]);
+  }
+  sphere.radius_ = std::sqrt(max_sq);
+  sphere.empty_ = false;
+  return sphere;
+}
+
+double BoundingSphere::MinDist(std::span<const float> point) const {
+  assert(point.size() == center_.size());
+  if (empty_) return std::numeric_limits<double>::infinity();
+  double s = 0.0;
+  for (size_t k = 0; k < center_.size(); ++k) {
+    const double diff = static_cast<double>(point[k]) - center_[k];
+    s += diff * diff;
+  }
+  return std::max(0.0, std::sqrt(s) - radius_);
+}
+
+bool BoundingSphere::IntersectsSphere(std::span<const float> center,
+                                      double radius) const {
+  return MinDist(center) <= radius;
+}
+
+void BoundingSphere::InflateRadius(double factor) {
+  assert(factor >= 0.0);
+  radius_ *= factor;
+}
+
+}  // namespace hdidx::geometry

@@ -1,0 +1,49 @@
+#ifndef HDIDX_GEOMETRY_BOUNDING_SPHERE_H_
+#define HDIDX_GEOMETRY_BOUNDING_SPHERE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hdidx::geometry {
+
+/// A bounding sphere: centroid of a point set plus the maximal distance to
+/// it — the page region of the SS-tree (White & Jain [35]), one of the
+/// Section 4.7 structures the sampling prediction technique covers.
+class BoundingSphere {
+ public:
+  /// Creates an empty sphere of dimensionality `dim`.
+  explicit BoundingSphere(size_t dim);
+
+  /// Sphere of given center and radius (radius >= 0).
+  BoundingSphere(std::vector<float> center, double radius);
+
+  /// Centroid-based bounding sphere of `count` contiguous points.
+  static BoundingSphere OfPoints(std::span<const float> points, size_t count,
+                                 size_t dim);
+
+  size_t dim() const { return center_.size(); }
+  bool empty() const { return empty_; }
+  const std::vector<float>& center() const { return center_; }
+  double radius() const { return radius_; }
+
+  /// Distance from `point` to the sphere surface (0 if inside).
+  double MinDist(std::span<const float> point) const;
+
+  /// True iff the query sphere (center, radius) intersects this sphere:
+  /// distance of centers <= sum of radii.
+  bool IntersectsSphere(std::span<const float> center, double radius) const;
+
+  /// Multiplies the radius by `factor` (the sphere analogue of growing an
+  /// MBR by the compensation factor).
+  void InflateRadius(double factor);
+
+ private:
+  std::vector<float> center_;
+  double radius_ = 0.0;
+  bool empty_ = true;
+};
+
+}  // namespace hdidx::geometry
+
+#endif  // HDIDX_GEOMETRY_BOUNDING_SPHERE_H_

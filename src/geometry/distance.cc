@@ -1,0 +1,74 @@
+#include "geometry/distance.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace hdidx::geometry {
+
+double SquaredL2(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const double diff = static_cast<double>(a[d]) - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+double L2(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(SquaredL2(a, b));
+}
+
+double SquaredMinDist(std::span<const float> point, const BoundingBox& box) {
+  assert(point.size() == box.dim());
+  if (box.empty()) return std::numeric_limits<double>::infinity();
+  double s = 0.0;
+  const auto& lo = box.lo();
+  const auto& hi = box.hi();
+  for (size_t d = 0; d < point.size(); ++d) {
+    double diff = 0.0;
+    if (point[d] < lo[d]) {
+      diff = static_cast<double>(lo[d]) - point[d];
+    } else if (point[d] > hi[d]) {
+      diff = static_cast<double>(point[d]) - hi[d];
+    }
+    s += diff * diff;
+  }
+  return s;
+}
+
+double MinDist(std::span<const float> point, const BoundingBox& box) {
+  return std::sqrt(SquaredMinDist(point, box));
+}
+
+double MaxDist(std::span<const float> point, const BoundingBox& box) {
+  assert(point.size() == box.dim());
+  if (box.empty()) return 0.0;
+  double s = 0.0;
+  const auto& lo = box.lo();
+  const auto& hi = box.hi();
+  for (size_t d = 0; d < point.size(); ++d) {
+    const double to_lo = std::abs(static_cast<double>(point[d]) - lo[d]);
+    const double to_hi = std::abs(static_cast<double>(point[d]) - hi[d]);
+    const double diff = std::max(to_lo, to_hi);
+    s += diff * diff;
+  }
+  return std::sqrt(s);
+}
+
+bool SphereIntersectsBox(std::span<const float> center, double radius,
+                         const BoundingBox& box) {
+  return SquaredMinDist(center, box) <= radius * radius;
+}
+
+double UnitSphereVolume(size_t dim) {
+  // V_d = pi^(d/2) / Gamma(d/2 + 1); evaluate in log space so that very
+  // high dimensionalities (ISOLET617) do not underflow prematurely.
+  const double d = static_cast<double>(dim);
+  const double log_v =
+      0.5 * d * std::log(M_PI) - std::lgamma(0.5 * d + 1.0);
+  return std::exp(log_v);
+}
+
+}  // namespace hdidx::geometry

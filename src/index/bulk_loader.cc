@@ -1,0 +1,161 @@
+#include "index/bulk_loader.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.h"
+
+namespace hdidx::index {
+
+size_t PointSource::ChooseSplitDim(size_t lo, size_t hi,
+                                   SplitStrategy strategy, size_t depth) {
+  switch (strategy) {
+    case SplitStrategy::kMaxVariance:
+      return MaxVarianceDim(lo, hi);
+    case SplitStrategy::kMaxExtent:
+      return ComputeBox(lo, hi).LongestDimension();
+    case SplitStrategy::kRoundRobin:
+      return depth % dim();
+  }
+  return MaxVarianceDim(lo, hi);
+}
+
+InMemoryPointSource::InMemoryPointSource(const data::Dataset* data)
+    : data_(data), order_(data->size()) {
+  std::iota(order_.begin(), order_.end(), 0u);
+}
+
+size_t InMemoryPointSource::MaxVarianceDim(size_t lo, size_t hi) {
+  const size_t d = data_->dim();
+  // Single pass accumulating sum and sum-of-squares per dimension.
+  std::vector<double> sum(d, 0.0), sum_sq(d, 0.0);
+  for (size_t i = lo; i < hi; ++i) {
+    const auto row = data_->row(order_[i]);
+    for (size_t k = 0; k < d; ++k) {
+      const double v = row[k];
+      sum[k] += v;
+      sum_sq[k] += v * v;
+    }
+  }
+  const double n = static_cast<double>(hi - lo);
+  size_t best = 0;
+  double best_var = -1.0;
+  for (size_t k = 0; k < d; ++k) {
+    const double var = sum_sq[k] / n - (sum[k] / n) * (sum[k] / n);
+    if (var > best_var) {
+      best_var = var;
+      best = k;
+    }
+  }
+  return best;
+}
+
+void InMemoryPointSource::Partition(size_t lo, size_t hi, size_t pos,
+                                    size_t split_dim) {
+  assert(lo < pos && pos < hi);
+  const data::Dataset& data = *data_;
+  std::nth_element(order_.begin() + static_cast<ptrdiff_t>(lo),
+                   order_.begin() + static_cast<ptrdiff_t>(pos),
+                   order_.begin() + static_cast<ptrdiff_t>(hi),
+                   [&data, split_dim](uint32_t a, uint32_t b) {
+                     return data.row(a)[split_dim] < data.row(b)[split_dim];
+                   });
+}
+
+geometry::BoundingBox InMemoryPointSource::ComputeBox(size_t lo, size_t hi) {
+  geometry::BoundingBox box(data_->dim());
+  for (size_t i = lo; i < hi; ++i) box.Extend(data_->row(order_[i]));
+  return box;
+}
+
+namespace {
+
+/// Recursive builder shared by all sources.
+class Builder {
+ public:
+  Builder(PointSource* source, const BulkLoadOptions& options, RTree* tree)
+      : source_(source), options_(options), tree_(tree) {}
+
+  uint32_t BuildNode(size_t level, size_t lo, size_t hi) {
+    assert(hi > lo);
+    if (level == options_.stop_level) {
+      return tree_->AddLeaf(source_->ComputeBox(lo, hi),
+                            static_cast<uint32_t>(level),
+                            static_cast<uint32_t>(lo),
+                            static_cast<uint32_t>(hi - lo));
+    }
+    // Scaled capacity of one child subtree. A mini-index sample shrinks the
+    // targets by `scale` so fanouts replicate the full tree. Clamped to one
+    // point: a page of the mini-index must hold at least one point
+    // (Section 3.3's bound: the sample rate can never be below 1/C).
+    const double child_target = std::max(
+        1.0, static_cast<double>(options_.topology->SubtreeCapacity(level - 1)) *
+                 options_.scale);
+    const size_t fanout = static_cast<size_t>(
+        std::ceil(static_cast<double>(hi - lo) / child_target - 1e-9));
+    std::vector<uint32_t> children;
+    children.reserve(fanout);
+    SplitRange(level, lo, hi, fanout, child_target, /*depth=*/0, &children);
+    return tree_->AddDirectory(static_cast<uint32_t>(level),
+                               std::move(children));
+  }
+
+ private:
+  /// Recursive binary maximum-variance split of [lo, hi) into `fanout`
+  /// partitions of `child_target` points (the last takes the remainder),
+  /// then recurses one level down on each partition.
+  void SplitRange(size_t level, size_t lo, size_t hi, size_t fanout,
+                  double child_target, size_t depth,
+                  std::vector<uint32_t>* children) {
+    if (fanout <= 1 || hi - lo <= 1) {
+      children->push_back(BuildNode(level - 1, lo, hi));
+      return;
+    }
+    const size_t left_fanout = (fanout + 1) / 2;
+    size_t split = lo + static_cast<size_t>(std::llround(
+                            static_cast<double>(left_fanout) * child_target));
+    // Keep both sides non-empty even under aggressive rounding.
+    split = std::clamp(split, lo + 1, hi - 1);
+    const size_t dim =
+        source_->ChooseSplitDim(lo, hi, options_.split_strategy, depth);
+    source_->Partition(lo, hi, split, dim);
+    SplitRange(level, lo, split, left_fanout, child_target, depth + 1,
+               children);
+    SplitRange(level, split, hi, fanout - left_fanout, child_target,
+               depth + 1, children);
+  }
+
+  PointSource* source_;
+  const BulkLoadOptions& options_;
+  RTree* tree_;
+};
+
+}  // namespace
+
+RTree BulkLoad(PointSource* source, const BulkLoadOptions& options) {
+  assert(options.topology != nullptr);
+  assert(options.scale > 0.0);
+  const size_t root_level =
+      options.root_level != 0 ? options.root_level : options.topology->height();
+  assert(options.stop_level >= 1 && options.stop_level <= root_level);
+
+  RTree tree(source->dim());
+  if (source->size() == 0) return tree;
+  Builder builder(source, options, &tree);
+  const uint32_t root = builder.BuildNode(root_level, 0, source->size());
+  tree.SetRoot(root);
+  source->Finish();
+  return tree;
+}
+
+RTree BulkLoadInMemory(const data::Dataset& data,
+                       const BulkLoadOptions& options) {
+  InMemoryPointSource source(&data);
+  RTree tree = BulkLoad(&source, options);
+  tree.SetOrder(source.TakeOrder());
+  return tree;
+}
+
+}  // namespace hdidx::index

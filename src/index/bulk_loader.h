@@ -1,0 +1,134 @@
+#ifndef HDIDX_INDEX_BULK_LOADER_H_
+#define HDIDX_INDEX_BULK_LOADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geometry/bounding_box.h"
+#include "index/rtree.h"
+#include "index/topology.h"
+
+namespace hdidx::index {
+
+/// Dimension-selection strategy for the recursive binary splits.
+///
+/// The level-wise loader always places split *positions* at multiples of
+/// the (scaled) child subtree capacity — pages must come out full — so the
+/// strategy only chooses the split *dimension*:
+///  * kMaxVariance: dimension of largest variance over the range — the
+///    VAMSplit R*-tree of the paper (White & Jain [34]).
+///  * kMaxExtent: dimension of largest MBR side — classic R-tree packing.
+///  * kRoundRobin: cycle through dimensions by split depth — the k-d-B-tree
+///    family (Robinson [29]), one more member of the Section 4.7 group the
+///    prediction technique covers.
+enum class SplitStrategy {
+  kMaxVariance,
+  kMaxExtent,
+  kRoundRobin,
+};
+
+/// Abstraction over where the points being bulk-loaded live.
+///
+/// The level-wise VAMSplit algorithm needs exactly three primitives on a
+/// contiguous point range: find the dimension of maximum variance, partition
+/// the range around a position along a dimension (Hoare's find), and compute
+/// the MBR of a range. The in-memory source implements them over a Dataset
+/// and an index permutation; the external source (index/external_build.h)
+/// implements them over a simulated PagedFile, charging every disk access —
+/// the same construction code path then yields both the paper's "on-disk
+/// index tree" and the predictors' in-memory mini-indexes.
+class PointSource {
+ public:
+  virtual ~PointSource() = default;
+
+  virtual size_t dim() const = 0;
+  virtual size_t size() const = 0;
+
+  /// Dimension with the largest variance over points [lo, hi).
+  virtual size_t MaxVarianceDim(size_t lo, size_t hi) = 0;
+
+  /// Dimension chosen by `strategy` for a split at binary depth `depth`
+  /// within its node. The default implements kMaxExtent via ComputeBox and
+  /// kRoundRobin via the depth; sources may override with cheaper paths.
+  virtual size_t ChooseSplitDim(size_t lo, size_t hi, SplitStrategy strategy,
+                                size_t depth);
+
+  /// Rearranges [lo, hi) so that every point in [lo, pos) is <= every point
+  /// in [pos, hi) along `split_dim` (nth_element semantics).
+  /// Requires lo < pos < hi.
+  virtual void Partition(size_t lo, size_t hi, size_t pos,
+                         size_t split_dim) = 0;
+
+  /// MBR of points [lo, hi).
+  virtual geometry::BoundingBox ComputeBox(size_t lo, size_t hi) = 0;
+
+  /// Called once when construction finishes; external sources flush buffers.
+  virtual void Finish() {}
+};
+
+/// PointSource over an in-memory dataset. Construction permutes an index
+/// array, never the dataset itself; the final permutation becomes the
+/// RTree's order().
+class InMemoryPointSource : public PointSource {
+ public:
+  /// `data` must outlive the source.
+  explicit InMemoryPointSource(const data::Dataset* data);
+
+  size_t dim() const override { return data_->dim(); }
+  size_t size() const override { return data_->size(); }
+  size_t MaxVarianceDim(size_t lo, size_t hi) override;
+  void Partition(size_t lo, size_t hi, size_t pos, size_t split_dim) override;
+  geometry::BoundingBox ComputeBox(size_t lo, size_t hi) override;
+
+  /// The permutation built up by Partition calls.
+  std::vector<uint32_t> TakeOrder() { return std::move(order_); }
+
+ private:
+  const data::Dataset* data_;
+  std::vector<uint32_t> order_;
+};
+
+/// Options controlling a bulk load.
+struct BulkLoadOptions {
+  /// Topology of the FULL index whose structure is being replicated.
+  /// Partition targets at each level come from its subtree capacities.
+  const TreeTopology* topology = nullptr;
+
+  /// Sampling fraction: partition targets are multiplied by this, so a
+  /// mini-index built on a zeta-sample reproduces the full tree's node
+  /// counts and fanouts (Section 3.1 structural similarity). 1.0 for the
+  /// full index.
+  double scale = 1.0;
+
+  /// Level (full-tree numbering) of the root of the tree being built.
+  /// topology->height() for a complete or mini index; height - h_upper + 1
+  /// for a lower tree rooted at an upper-tree leaf.
+  size_t root_level = 0;
+
+  /// Construction stops at this level: nodes at stop_level become the
+  /// tree's leaves. 1 builds down to data pages; height - h_upper + 1
+  /// builds an upper tree of height h_upper.
+  size_t stop_level = 1;
+
+  /// How split dimensions are chosen (see SplitStrategy).
+  SplitStrategy split_strategy = SplitStrategy::kMaxVariance;
+};
+
+/// Bulk-loads a VAMSplit R*-tree from `source` (all of its points).
+///
+/// The algorithm is the level-wise recursive partitioning of Berchtold,
+/// Böhm and Kriegel: at each directory node the required fanout is
+/// f = ceil(n / (scale * cap(level-1))) and the range is split into f
+/// partitions by recursive binary maximum-variance splits at multiples of
+/// the (scaled) child capacity.
+RTree BulkLoad(PointSource* source, const BulkLoadOptions& options);
+
+/// Convenience wrapper: builds over an in-memory dataset and installs the
+/// permutation as the tree's order().
+RTree BulkLoadInMemory(const data::Dataset& data,
+                       const BulkLoadOptions& options);
+
+}  // namespace hdidx::index
+
+#endif  // HDIDX_INDEX_BULK_LOADER_H_

@@ -1,0 +1,296 @@
+#include "index/external_build.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace hdidx::index {
+
+namespace {
+
+/// PointSource over a simulated on-disk file with an M-point memory window.
+class ExternalPointSource : public PointSource {
+ public:
+  ExternalPointSource(io::PagedFile* file, size_t memory_points)
+      : file_(file),
+        scratch_(file->dim(), file->disk()),
+        memory_points_(memory_points),
+        dim_(file->dim()) {
+    assert(memory_points_ >= 1);
+    buffer_.reserve(memory_points_ * dim_);
+  }
+
+  size_t dim() const override { return dim_; }
+  size_t size() const override { return file_->size(); }
+
+  size_t MaxVarianceDim(size_t lo, size_t hi) override {
+    if (WindowCovers(lo, hi) || hi - lo <= memory_points_) {
+      EnsureWindow(lo, hi);
+      return MaxVarianceOfWindow(lo, hi);
+    }
+    // Chunked sequential variance scan over the file.
+    file_->ChargeAccess(lo, hi - lo);
+    std::vector<double> sum(dim_, 0.0), sum_sq(dim_, 0.0);
+    const auto raw = file_->raw();
+    for (size_t i = lo; i < hi; ++i) {
+      const float* row = raw.data() + i * dim_;
+      for (size_t k = 0; k < dim_; ++k) {
+        const double v = row[k];
+        sum[k] += v;
+        sum_sq[k] += v * v;
+      }
+    }
+    const double n = static_cast<double>(hi - lo);
+    size_t best = 0;
+    double best_var = -1.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      const double var = sum_sq[k] / n - (sum[k] / n) * (sum[k] / n);
+      if (var > best_var) {
+        best_var = var;
+        best = k;
+      }
+    }
+    return best;
+  }
+
+  void Partition(size_t lo, size_t hi, size_t pos, size_t split_dim) override {
+    assert(lo < pos && pos < hi);
+    if (!WindowCovers(lo, hi) && hi - lo > memory_points_) {
+      ExternalSelect(&lo, &hi, pos, split_dim);
+      if (hi - lo <= 1 || pos <= lo || pos >= hi) return;
+    }
+    EnsureWindow(lo, hi);
+    const float* buf = buffer_.data();
+    const size_t d = dim_;
+    std::nth_element(
+        perm_.begin() + static_cast<ptrdiff_t>(lo - window_lo_),
+        perm_.begin() + static_cast<ptrdiff_t>(pos - window_lo_),
+        perm_.begin() + static_cast<ptrdiff_t>(hi - window_lo_),
+        [buf, d, split_dim](uint32_t a, uint32_t b) {
+          return buf[a * d + split_dim] < buf[b * d + split_dim];
+        });
+  }
+
+  geometry::BoundingBox ComputeBox(size_t lo, size_t hi) override {
+    if (WindowCovers(lo, hi) || hi - lo <= memory_points_) {
+      EnsureWindow(lo, hi);
+      geometry::BoundingBox box(dim_);
+      for (size_t i = lo; i < hi; ++i) {
+        box.Extend({buffer_.data() + perm_[i - window_lo_] * dim_, dim_});
+      }
+      return box;
+    }
+    // Oversized leaf (only possible for upper-tree stop levels): charged
+    // sequential scan.
+    file_->ChargeAccess(lo, hi - lo);
+    const auto raw = file_->raw();
+    geometry::BoundingBox box(dim_);
+    for (size_t i = lo; i < hi; ++i) {
+      box.Extend(raw.subspan(i * dim_, dim_));
+    }
+    return box;
+  }
+
+  void Finish() override { FlushWindow(); }
+
+  io::IoStats TotalIo() const { return file_->stats() + scratch_.stats(); }
+
+ private:
+  bool WindowCovers(size_t lo, size_t hi) const {
+    return window_valid_ && lo >= window_lo_ && hi <= window_hi_;
+  }
+
+  /// Loads [lo, hi) into the memory buffer (flushing any previous window).
+  void EnsureWindow(size_t lo, size_t hi) {
+    assert(hi - lo <= memory_points_ || WindowCovers(lo, hi));
+    if (WindowCovers(lo, hi)) return;
+    FlushWindow();
+    const size_t count = hi - lo;
+    buffer_.resize(count * dim_);
+    file_->Read(lo, count, buffer_.data());
+    perm_.resize(count);
+    std::iota(perm_.begin(), perm_.end(), 0u);
+    window_lo_ = lo;
+    window_hi_ = hi;
+    window_valid_ = true;
+  }
+
+  /// Writes the window back in permutation order — this materializes the
+  /// leaf order on disk, i.e. writes the data pages.
+  void FlushWindow() {
+    if (!window_valid_) return;
+    const size_t count = window_hi_ - window_lo_;
+    std::vector<float> out(count * dim_);
+    for (size_t i = 0; i < count; ++i) {
+      std::memcpy(out.data() + i * dim_, buffer_.data() + perm_[i] * dim_,
+                  dim_ * sizeof(float));
+    }
+    file_->Write(window_lo_, count, out.data());
+    window_valid_ = false;
+  }
+
+  size_t MaxVarianceOfWindow(size_t lo, size_t hi) {
+    std::vector<double> sum(dim_, 0.0), sum_sq(dim_, 0.0);
+    for (size_t i = lo; i < hi; ++i) {
+      const float* row = buffer_.data() + perm_[i - window_lo_] * dim_;
+      for (size_t k = 0; k < dim_; ++k) {
+        const double v = row[k];
+        sum[k] += v;
+        sum_sq[k] += v * v;
+      }
+    }
+    const double n = static_cast<double>(hi - lo);
+    size_t best = 0;
+    double best_var = -1.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      const double var = sum_sq[k] / n - (sum[k] / n) * (sum[k] / n);
+      if (var > best_var) {
+        best_var = var;
+        best = k;
+      }
+    }
+    return best;
+  }
+
+  /// External quickselect: narrows [*lo, *hi) around `pos` with charged
+  /// classification passes through the scratch file until the remaining
+  /// range fits in memory. On return the points outside [*lo, *hi) are
+  /// finally placed relative to position `pos`.
+  void ExternalSelect(size_t* lo, size_t* hi, size_t pos, size_t split_dim) {
+    FlushWindow();  // the select works directly on the file
+    while (*hi - *lo > memory_points_) {
+      const size_t n = *hi - *lo;
+      if (scratch_.size() < file_->size()) scratch_.Resize(file_->size());
+
+      // Pivot: median along split_dim of the first chunk. The chunk is
+      // re-read during the classification pass below; charging it once here
+      // models the extra pivot-selection read.
+      const size_t first_chunk = std::min(memory_points_, n);
+      file_->ChargeAccess(*lo, first_chunk);
+      const auto raw = file_->raw();
+      std::vector<float> values(first_chunk);
+      for (size_t i = 0; i < first_chunk; ++i) {
+        values[i] = raw[(*lo + i) * dim_ + split_dim];
+      }
+      std::nth_element(values.begin(),
+                       values.begin() + static_cast<ptrdiff_t>(first_chunk / 2),
+                       values.end());
+      float pivot = values[first_chunk / 2];
+
+      size_t nl = ClassifyPass(*lo, *hi, split_dim, pivot);
+      if (nl == 0 || nl == n) {
+        // Degenerate pivot (duplicate-heavy dimension): retry with the
+        // midrange, which guarantees progress unless all values are equal.
+        file_->ChargeAccess(*lo, n);
+        float min_v = raw[*lo * dim_ + split_dim];
+        float max_v = min_v;
+        for (size_t i = *lo; i < *hi; ++i) {
+          const float v = raw[i * dim_ + split_dim];
+          min_v = std::min(min_v, v);
+          max_v = std::max(max_v, v);
+        }
+        if (min_v == max_v) return;  // any split position is already valid
+        pivot = min_v + 0.5f * (max_v - min_v);
+        if (pivot == min_v) pivot = max_v;
+        nl = ClassifyPass(*lo, *hi, split_dim, pivot);
+        if (nl == 0 || nl == n) return;  // numerically stuck; treat as equal
+      }
+      if (pos < *lo + nl) {
+        *hi = *lo + nl;
+      } else {
+        *lo = *lo + nl;
+      }
+    }
+  }
+
+  /// One classification pass: points of [lo, hi) with value < pivot go to
+  /// the low frontier of the scratch region, the rest to the high frontier;
+  /// the region is then copied back. Returns the low-side count.
+  size_t ClassifyPass(size_t lo, size_t hi, size_t split_dim, float pivot) {
+    size_t low_ptr = lo;
+    size_t high_ptr = hi;
+    std::vector<float> lows, highs;
+    lows.reserve(memory_points_ * dim_);
+    highs.reserve(memory_points_ * dim_);
+    const auto raw = file_->raw();
+    for (size_t chunk_lo = lo; chunk_lo < hi; chunk_lo += memory_points_) {
+      const size_t chunk_n = std::min(memory_points_, hi - chunk_lo);
+      file_->ChargeAccess(chunk_lo, chunk_n);  // sequential chunk read
+      lows.clear();
+      highs.clear();
+      for (size_t i = chunk_lo; i < chunk_lo + chunk_n; ++i) {
+        const float* row = raw.data() + i * dim_;
+        if (row[split_dim] < pivot) {
+          lows.insert(lows.end(), row, row + dim_);
+        } else {
+          highs.insert(highs.end(), row, row + dim_);
+        }
+      }
+      const size_t n_lows = lows.size() / dim_;
+      const size_t n_highs = highs.size() / dim_;
+      if (n_lows > 0) {
+        scratch_.Write(low_ptr, n_lows, lows.data());
+        low_ptr += n_lows;
+      }
+      if (n_highs > 0) {
+        scratch_.Write(high_ptr - n_highs, n_highs, highs.data());
+        high_ptr -= n_highs;
+      }
+    }
+    assert(low_ptr == high_ptr);
+    // Copy the partitioned region back: sequential scratch read plus
+    // sequential file write.
+    const size_t n = hi - lo;
+    scratch_.ChargeAccess(lo, n);
+    file_->Write(lo, n, scratch_.raw().data() + lo * dim_);
+    return low_ptr - lo;
+  }
+
+  io::PagedFile* file_;
+  io::PagedFile scratch_;
+  size_t memory_points_;
+  size_t dim_;
+
+  std::vector<float> buffer_;
+  std::vector<uint32_t> perm_;
+  size_t window_lo_ = 0;
+  size_t window_hi_ = 0;
+  bool window_valid_ = false;
+};
+
+}  // namespace
+
+ExternalBuildResult BuildOnDisk(io::PagedFile* file,
+                                const ExternalBuildOptions& options) {
+  assert(options.topology != nullptr);
+  assert(options.memory_points >= options.topology->data_capacity());
+  const io::IoStats before = file->stats();
+
+  ExternalPointSource source(file, options.memory_points);
+  BulkLoadOptions load;
+  load.topology = options.topology;
+  load.scale = 1.0;
+  load.root_level = options.topology->height();
+  load.stop_level = 1;
+  ExternalBuildResult result{BulkLoad(&source, load), io::IoStats{}};
+
+  // Charge writing the directory pages: one sequential write of all
+  // non-leaf nodes (one page each).
+  const size_t dir_nodes = result.tree.num_nodes() - result.tree.num_leaves();
+  if (dir_nodes > 0) {
+    file->ChargeSeek();
+    io::IoStats dir_write;
+    dir_write.page_transfers = dir_nodes;
+    result.io += dir_write;
+  }
+
+  result.io += source.TotalIo();
+  result.io.page_seeks -= before.page_seeks;
+  result.io.page_transfers -= before.page_transfers;
+  return result;
+}
+
+}  // namespace hdidx::index

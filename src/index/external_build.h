@@ -1,0 +1,54 @@
+#ifndef HDIDX_INDEX_EXTERNAL_BUILD_H_
+#define HDIDX_INDEX_EXTERNAL_BUILD_H_
+
+#include "index/bulk_loader.h"
+#include "index/rtree.h"
+#include "index/topology.h"
+#include "io/io_stats.h"
+#include "io/paged_file.h"
+
+namespace hdidx::index {
+
+/// Options for the simulated on-disk bulk load.
+struct ExternalBuildOptions {
+  /// Topology of the index being built.
+  const TreeTopology* topology = nullptr;
+  /// Memory size M in points: the working buffer for in-memory finishing
+  /// and the chunk size of the external passes. Must be at least the data
+  /// page capacity.
+  size_t memory_points = 0;
+};
+
+/// Result of an on-disk bulk load: the finished tree plus every seek and
+/// page transfer the construction incurred (data passes, external
+/// partitioning through the scratch file, and leaf write-back).
+struct ExternalBuildResult {
+  RTree tree;
+  io::IoStats io;
+};
+
+/// Bulk-loads the paper's "on-disk index tree" (Section 4.1) over `file`,
+/// charging all I/O.
+///
+/// This runs the same level-wise VAMSplit algorithm as the in-memory loader
+/// through a PointSource that owns an M-point memory window: ranges larger
+/// than M are partitioned by external quickselect (sequential classification
+/// passes through a scratch file, pivot = median of the first chunk, with a
+/// midrange-pivot fallback against duplicate-heavy dimensions); once a range
+/// fits in M points it is read once, the whole subtree under it is finished
+/// in memory, and the points are written back in leaf order — the data pages
+/// of a bulk-loaded R-tree are exactly this final point order. Directory
+/// pages are charged as one sequential write at the end.
+///
+/// The file's contents are physically reordered into leaf order; the
+/// returned tree's order() is the identity.
+///
+/// This is the measurement baseline every prediction is compared against:
+/// its I/O cost is the paper's cost_OnDisk, and queries measured on the
+/// returned tree are the ground truth for relative errors.
+ExternalBuildResult BuildOnDisk(io::PagedFile* file,
+                                const ExternalBuildOptions& options);
+
+}  // namespace hdidx::index
+
+#endif  // HDIDX_INDEX_EXTERNAL_BUILD_H_

@@ -1,0 +1,132 @@
+#include "index/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "geometry/distance.h"
+
+namespace hdidx::index {
+
+KnnHeap::KnnHeap(size_t k) : k_(k) { assert(k > 0); }
+
+void KnnHeap::Push(double squared_distance) {
+  if (heap_.size() < k_) {
+    heap_.push(squared_distance);
+  } else if (squared_distance < heap_.top()) {
+    heap_.pop();
+    heap_.push(squared_distance);
+  }
+}
+
+double KnnHeap::KthSquared() const {
+  if (!full()) return std::numeric_limits<double>::infinity();
+  return heap_.top();
+}
+
+double KnnHeap::Kth() const { return std::sqrt(KthSquared()); }
+
+double ExactKthDistance(const data::Dataset& data,
+                        std::span<const float> query, size_t k,
+                        double exclude_within_sq) {
+  KnnHeap heap(k);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double d2 = geometry::SquaredL2(data.row(i), query);
+    if (d2 <= exclude_within_sq) continue;
+    heap.Push(d2);
+  }
+  return heap.Kth();
+}
+
+std::vector<size_t> ExactKnn(const data::Dataset& data,
+                             std::span<const float> query, size_t k) {
+  std::vector<std::pair<double, size_t>> all;
+  all.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    all.emplace_back(geometry::SquaredL2(data.row(i), query), i);
+  }
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(take),
+                    all.end());
+  std::vector<size_t> result(take);
+  for (size_t i = 0; i < take; ++i) result[i] = all[i].second;
+  return result;
+}
+
+TreeKnnResult TreeKnnSearch(const RTree& tree, const data::Dataset& data,
+                            std::span<const float> query, size_t k) {
+  TreeKnnResult result;
+  if (tree.empty()) return result;
+
+  // Best-first search: a min-priority queue over MINDIST of pending nodes;
+  // prune once k candidates are closer than the best pending node.
+  struct Entry {
+    double min_dist_sq;
+    uint32_t node;
+    bool operator>(const Entry& other) const {
+      return min_dist_sq > other.min_dist_sq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.push({geometry::SquaredMinDist(query, tree.node(tree.root()).box),
+              tree.root()});
+
+  std::vector<std::pair<double, size_t>> candidates;  // (dist^2, row)
+  auto kth_sq = [&]() {
+    return candidates.size() < k ? std::numeric_limits<double>::infinity()
+                                 : candidates[k - 1].first;
+  };
+
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (top.min_dist_sq > kth_sq()) break;
+    const RTreeNode& n = tree.node(top.node);
+    if (n.is_leaf()) {
+      ++result.accesses.leaf_accesses;
+      for (uint32_t pos = n.start; pos < n.start + n.count; ++pos) {
+        const size_t row = tree.OrderedIndex(pos);
+        const double d2 = geometry::SquaredL2(data.row(row), query);
+        candidates.emplace_back(d2, row);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      if (candidates.size() > k) candidates.resize(k);
+    } else {
+      ++result.accesses.dir_accesses;
+      for (uint32_t child : n.children) {
+        const double d2 =
+            geometry::SquaredMinDist(query, tree.node(child).box);
+        if (d2 <= kth_sq()) queue.push({d2, child});
+      }
+    }
+  }
+
+  const size_t take = std::min(k, candidates.size());
+  result.neighbors.resize(take);
+  for (size_t i = 0; i < take; ++i) result.neighbors[i] = candidates[i].second;
+  result.kth_distance = take > 0 ? std::sqrt(candidates[take - 1].first) : 0.0;
+  return result;
+}
+
+std::vector<double> CountSphereLeafAccesses(const RTree& tree,
+                                            const data::Dataset& centers,
+                                            const std::vector<double>& radii,
+                                            io::IoStats* io) {
+  assert(centers.size() == radii.size());
+  std::vector<double> result(centers.size(), 0.0);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    const RTree::AccessCount count =
+        tree.CountSphereAccesses(centers.row(i), radii[i]);
+    result[i] = static_cast<double>(count.leaf_accesses);
+    if (io != nullptr) {
+      // Nearly all query-time page accesses are random (Section 5.1): one
+      // seek and one transfer per page touched.
+      io->page_seeks += count.total();
+      io->page_transfers += count.total();
+    }
+  }
+  return result;
+}
+
+}  // namespace hdidx::index

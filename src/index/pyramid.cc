@@ -1,0 +1,228 @@
+#include "index/pyramid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "geometry/distance.h"
+
+namespace hdidx::index {
+
+PyramidIndex::PyramidIndex(const data::Dataset* data, size_t page_capacity)
+    : data_(data), page_capacity_(page_capacity) {
+  assert(page_capacity_ >= 1);
+  assert(!data_->empty());
+  const size_t d = data_->dim();
+
+  // Normalization into [0,1]^d from the data's bounding box.
+  const geometry::BoundingBox bounds = data_->Bounds();
+  norm_lo_.resize(d);
+  norm_inv_extent_.resize(d);
+  for (size_t k = 0; k < d; ++k) {
+    norm_lo_[k] = bounds.lo()[k];
+    const double extent = bounds.Extent(k);
+    norm_inv_extent_[k] = extent > 0.0 ? 1.0 / extent : 0.0;
+  }
+
+  values_.reserve(data_->size());
+  for (size_t i = 0; i < data_->size(); ++i) {
+    values_.emplace_back(PyramidValue(data_->row(i)),
+                         static_cast<uint32_t>(i));
+  }
+  std::sort(values_.begin(), values_.end());
+}
+
+size_t PyramidIndex::num_pages() const {
+  return (values_.size() + page_capacity_ - 1) / page_capacity_;
+}
+
+void PyramidIndex::Normalize(std::span<const float> point,
+                             std::vector<double>* out) const {
+  const size_t d = data_->dim();
+  out->resize(d);
+  for (size_t k = 0; k < d; ++k) {
+    (*out)[k] = std::clamp(
+        (static_cast<double>(point[k]) - norm_lo_[k]) * norm_inv_extent_[k],
+        0.0, 1.0);
+  }
+}
+
+double PyramidIndex::PyramidValue(std::span<const float> point) const {
+  std::vector<double> q;
+  Normalize(point, &q);
+  const size_t d = data_->dim();
+  // Dimension of maximal center offset decides the pyramid; the sign
+  // decides which of its two pyramids.
+  size_t j_max = 0;
+  double offset_max = 0.0;
+  for (size_t k = 0; k < d; ++k) {
+    const double offset = std::abs(q[k] - 0.5);
+    if (offset > offset_max) {
+      offset_max = offset;
+      j_max = k;
+    }
+  }
+  const size_t pyramid =
+      q[j_max] - 0.5 < 0.0 ? j_max : j_max + d;  // negative side first
+  return static_cast<double>(pyramid) + offset_max;
+}
+
+std::vector<std::pair<double, double>> PyramidIndex::QueryIntervals(
+    std::span<const float> lo_norm, std::span<const float> hi_norm) const {
+  const size_t d = data_->dim();
+  // Offsets relative to the center, and per-dimension minimal |offset|.
+  std::vector<double> q_min(d), q_max(d), min_abs(d);
+  for (size_t k = 0; k < d; ++k) {
+    q_min[k] = std::clamp(static_cast<double>(lo_norm[k]), 0.0, 1.0) - 0.5;
+    q_max[k] = std::clamp(static_cast<double>(hi_norm[k]), 0.0, 1.0) - 0.5;
+    min_abs[k] = (q_min[k] <= 0.0 && q_max[k] >= 0.0)
+                     ? 0.0
+                     : std::min(std::abs(q_min[k]), std::abs(q_max[k]));
+  }
+
+  std::vector<std::pair<double, double>> intervals;
+  for (size_t j = 0; j < d; ++j) {
+    double other_min = 0.0;
+    for (size_t l = 0; l < d; ++l) {
+      if (l != j) other_min = std::max(other_min, min_abs[l]);
+    }
+    // Negative-side pyramid j: heights h = -offset_j with offset_j < 0.
+    if (q_min[j] < 0.0) {
+      const double h_hi = -q_min[j];
+      const double h_lo = std::max({0.0, -q_max[j], other_min});
+      if (h_lo <= h_hi) {
+        intervals.emplace_back(static_cast<double>(j) + h_lo,
+                               static_cast<double>(j) + h_hi);
+      }
+    }
+    // Positive-side pyramid j + d.
+    if (q_max[j] > 0.0) {
+      const double h_hi = q_max[j];
+      const double h_lo = std::max({0.0, q_min[j], other_min});
+      if (h_lo <= h_hi) {
+        intervals.emplace_back(static_cast<double>(j + d) + h_lo,
+                               static_cast<double>(j + d) + h_hi);
+      }
+    }
+  }
+  return intervals;
+}
+
+size_t PyramidIndex::RangeQueryPages(std::span<const float> box_lo,
+                                     std::span<const float> box_hi,
+                                     io::IoStats* io) const {
+  std::vector<double> lo_n, hi_n;
+  Normalize(box_lo, &lo_n);
+  Normalize(box_hi, &hi_n);
+  std::vector<float> lo_f(lo_n.begin(), lo_n.end());
+  std::vector<float> hi_f(hi_n.begin(), hi_n.end());
+  // Note: Normalize clamps, so the spans below are already in [0,1].
+  const auto intervals = QueryIntervals(lo_f, hi_f);
+
+  // Pages overlapping any interval (deduplicated).
+  std::vector<std::pair<size_t, size_t>> page_ranges;
+  for (const auto& [lo_v, hi_v] : intervals) {
+    const auto first = std::lower_bound(
+        values_.begin(), values_.end(),
+        std::make_pair(lo_v, std::numeric_limits<uint32_t>::min()));
+    const auto last = std::upper_bound(
+        values_.begin(), values_.end(),
+        std::make_pair(hi_v, std::numeric_limits<uint32_t>::max()));
+    if (first == last) continue;
+    const size_t first_page =
+        static_cast<size_t>(first - values_.begin()) / page_capacity_;
+    const size_t last_page =
+        static_cast<size_t>(last - values_.begin() - 1) / page_capacity_;
+    page_ranges.emplace_back(first_page, last_page);
+  }
+  std::sort(page_ranges.begin(), page_ranges.end());
+  size_t pages = 0;
+  size_t next_free = 0;
+  bool any = false;
+  for (const auto& [first_page, last_page] : page_ranges) {
+    const size_t begin = any ? std::max(first_page, next_free) : first_page;
+    if (!any || begin <= last_page) {
+      if (begin <= last_page) {
+        pages += last_page - begin + 1;
+        if (io != nullptr) {
+          ++io->page_seeks;  // jump to the interval's first page
+          io->page_transfers += last_page - begin + 1;
+        }
+        next_free = last_page + 1;
+        any = true;
+      }
+    }
+  }
+  return pages;
+}
+
+PyramidIndex::SearchResult PyramidIndex::SearchKnn(
+    std::span<const float> query, size_t k) const {
+  assert(k >= 1);
+  const size_t d = data_->dim();
+  SearchResult result;
+
+  // Initial radius guess: the average per-dimension extent scaled by the
+  // expected volume share of k points; doubled until the k-NN ball is
+  // covered by the searched box.
+  const geometry::BoundingBox bounds = data_->Bounds();
+  double mean_extent = 0.0;
+  for (size_t dim = 0; dim < d; ++dim) mean_extent += bounds.Extent(dim);
+  mean_extent /= static_cast<double>(d);
+  double radius = std::max(1e-6, 0.05 * mean_extent);
+
+  std::vector<float> lo(d), hi(d);
+  for (int iteration = 0; iteration < 64; ++iteration) {
+    ++result.iterations;
+    for (size_t dim = 0; dim < d; ++dim) {
+      lo[dim] = static_cast<float>(query[dim] - radius);
+      hi[dim] = static_cast<float>(query[dim] + radius);
+    }
+    io::IoStats io;
+    result.page_reads += RangeQueryPages(lo, hi, &io);
+
+    // Candidates: rows in the affected value intervals whose box contains
+    // them (the page scan in a real system; exact distances here).
+    std::vector<double> lo_n, hi_n;
+    Normalize(lo, &lo_n);
+    Normalize(hi, &hi_n);
+    std::vector<float> lo_f(lo_n.begin(), lo_n.end());
+    std::vector<float> hi_f(hi_n.begin(), hi_n.end());
+    const auto intervals = QueryIntervals(lo_f, hi_f);
+
+    std::priority_queue<std::pair<double, size_t>> best;
+    for (const auto& [lo_v, hi_v] : intervals) {
+      const auto first = std::lower_bound(
+          values_.begin(), values_.end(),
+          std::make_pair(lo_v, std::numeric_limits<uint32_t>::min()));
+      const auto last = std::upper_bound(
+          values_.begin(), values_.end(),
+          std::make_pair(hi_v, std::numeric_limits<uint32_t>::max()));
+      for (auto it = first; it != last; ++it) {
+        const double d2 = geometry::SquaredL2(data_->row(it->second), query);
+        if (best.size() < k) {
+          best.emplace(d2, it->second);
+        } else if (d2 < best.top().first) {
+          best.pop();
+          best.emplace(d2, it->second);
+        }
+      }
+    }
+    if (best.size() == k && std::sqrt(best.top().first) <= radius) {
+      // The k-NN ball lies inside the searched box: exact result.
+      result.neighbors.resize(k);
+      result.kth_distance = std::sqrt(best.top().first);
+      for (size_t i = k; i-- > 0;) {
+        result.neighbors[i] = best.top().second;
+        best.pop();
+      }
+      return result;
+    }
+    radius *= 2.0;
+  }
+  return result;  // pathological input: empty result after 64 doublings
+}
+
+}  // namespace hdidx::index

@@ -1,0 +1,77 @@
+#ifndef HDIDX_INDEX_PYRAMID_H_
+#define HDIDX_INDEX_PYRAMID_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "io/disk_model.h"
+#include "io/io_stats.h"
+
+namespace hdidx::index {
+
+/// The Pyramid technique (Berchtold, Böhm, Kriegel [6]) — another member of
+/// the Section 4.7 group ("fixed-capacity pages with a given storage
+/// utilization"): d-dimensional points map to a 1-dimensional *pyramid
+/// value* i + h, where i is the pyramid whose apex the point leans toward
+/// (the dimension of maximal center-offset, signed) and h is the height
+/// (that offset). Points are stored sorted by pyramid value in fixed-size
+/// pages, exactly like the leaf level of a B+-tree.
+///
+/// k-NN queries run as iteratively enlarged range queries: a query box maps
+/// to at most 2d pyramid-value intervals; pages overlapping those intervals
+/// are scanned. The page layout (1-d intervals over the sorted values) is
+/// again fixed-capacity — the sampling prediction technique applies by
+/// building the same structure on a sample (see PredictPyramidAccesses).
+class PyramidIndex {
+ public:
+  /// Builds the index over `data`, normalizing coordinates into [0,1]^d
+  /// with the data's bounding box. `page_capacity` points per data page.
+  PyramidIndex(const data::Dataset* data, size_t page_capacity);
+
+  size_t size() const { return values_.size(); }
+  size_t num_pages() const;
+  size_t page_capacity() const { return page_capacity_; }
+
+  /// Pyramid value of an arbitrary point (normalized internally).
+  double PyramidValue(std::span<const float> point) const;
+
+  /// Number of data pages a range query (box, in original coordinates)
+  /// must read: pages overlapping any of the box's pyramid-value intervals.
+  /// If `io` is non-null, charges one random access per interval plus
+  /// sequential transfers for the pages it spans.
+  size_t RangeQueryPages(std::span<const float> box_lo,
+                         std::span<const float> box_hi,
+                         io::IoStats* io) const;
+
+  /// Exact k-NN via iteratively enlarged range queries. Returns the page
+  /// reads of the final (successful) iteration plus all earlier ones.
+  struct SearchResult {
+    std::vector<size_t> neighbors;  // ascending by distance
+    double kth_distance = 0.0;
+    size_t page_reads = 0;
+    size_t iterations = 0;
+  };
+  SearchResult SearchKnn(std::span<const float> query, size_t k) const;
+
+  /// The pyramid-value intervals [lo, hi] a normalized query box maps to
+  /// (at most 2d of them). Exposed for tests.
+  std::vector<std::pair<double, double>> QueryIntervals(
+      std::span<const float> lo_norm, std::span<const float> hi_norm) const;
+
+ private:
+  /// Normalizes a point into [0,1]^d (clamped).
+  void Normalize(std::span<const float> point, std::vector<double>* out) const;
+
+  const data::Dataset* data_;
+  size_t page_capacity_;
+  std::vector<double> norm_lo_;
+  std::vector<double> norm_inv_extent_;
+  /// (pyramid value, row), sorted by value — the B+-tree leaf level.
+  std::vector<std::pair<double, uint32_t>> values_;
+};
+
+}  // namespace hdidx::index
+
+#endif  // HDIDX_INDEX_PYRAMID_H_

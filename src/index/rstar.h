@@ -1,0 +1,134 @@
+#ifndef HDIDX_INDEX_RSTAR_H_
+#define HDIDX_INDEX_RSTAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geometry/bounding_box.h"
+#include "index/rtree.h"
+
+namespace hdidx::index {
+
+/// A dynamic R*-tree (Beckmann, Kriegel, Schneider, Seeger [3]): one-by-one
+/// insertion with ChooseSubtree, the topological margin/overlap split, and
+/// forced reinsertion.
+///
+/// The paper's prediction technique covers "all index structures that
+/// organize the data in fixed-capacity pages" (Section 4.7), naming the
+/// R*-tree first. This class provides the dynamically built member of that
+/// family: the same sampling model predicts it by running the *same
+/// insertion algorithm* on the sample with proportionally reduced page
+/// capacity (core/dynamic_mini_index.h), exactly as Section 3.1 prescribes
+/// ("the bulk-loading algorithm of a given index structure can be simply
+/// reused" — here, the insertion algorithm).
+class RStarTree {
+ public:
+  struct Options {
+    /// Maximum entries per data page (C_max,data).
+    size_t max_data_entries = 33;
+    /// Maximum entries per directory page (C_max,dir).
+    size_t max_dir_entries = 16;
+    /// Minimum fill m as a fraction of the maximum (R* default 40%).
+    double min_fill = 0.4;
+    /// Fraction of entries force-reinserted on first overflow (R* p = 30%).
+    double reinsert_fraction = 0.3;
+    /// X-tree extension (Berchtold, Keim, Kriegel [7]): when even the best
+    /// split of a directory node leaves more than this fraction of its
+    /// child entries straddling both halves, keep the node as a *supernode*
+    /// spanning several pages instead. Negative disables (plain R*-tree);
+    /// the X-tree paper's MAX_OVERLAP is 0.2.
+    double supernode_overlap_threshold = -1.0;
+  };
+
+  /// Creates an empty tree over `data` (borrowed; must outlive the tree).
+  RStarTree(const data::Dataset* data, const Options& options);
+
+  /// Inserts dataset row `row`.
+  void Insert(uint32_t row);
+
+  /// Convenience: inserts rows 0..n-1 in order.
+  static RStarTree BuildByInsertion(const data::Dataset& data,
+                                    const Options& options);
+
+  size_t size() const { return num_points_; }
+  size_t height() const { return height_; }
+  size_t num_leaves() const;
+
+  /// Snapshot into the query-able bulk-tree representation: node levels are
+  /// assigned leaf = 1, and leaf point ids become the RTree's order().
+  RTree ToRTree() const;
+
+  /// Validates internal invariants (entry counts, box containment);
+  /// returns false and stops at the first violation. For tests.
+  bool CheckInvariants() const;
+
+  /// Number of supernodes currently in the tree (X-tree mode).
+  size_t CountSupernodes() const;
+
+ private:
+  struct Node {
+    geometry::BoundingBox box;
+    bool is_leaf = true;
+    /// X-tree supernode: exempt from splitting, spans several pages.
+    bool supernode = false;
+    /// Row ids (leaf) or node ids (directory).
+    std::vector<uint32_t> entries;
+
+    explicit Node(size_t dim) : box(dim) {}
+  };
+
+  size_t MaxEntries(const Node& node) const {
+    if (node.supernode) return static_cast<size_t>(-1);
+    return node.is_leaf ? options_.max_data_entries
+                        : options_.max_dir_entries;
+  }
+
+  geometry::BoundingBox EntryBox(const Node& node, uint32_t entry) const;
+  void RecomputeBox(uint32_t node_id);
+
+  /// R* ChooseSubtree: descend from the root to the node at `target_level`
+  /// (counted with leaves at level 1) best suited for `box`, recording the
+  /// path in *path.
+  uint32_t ChooseSubtree(const geometry::BoundingBox& box, size_t target_level,
+                         std::vector<uint32_t>* path);
+
+  /// Inserts an entry (row id or node id boxed by `box`) at `target_level`,
+  /// handling overflow via reinsertion or split.
+  void InsertEntry(const geometry::BoundingBox& box, uint32_t entry,
+                   size_t target_level, bool allow_reinsert);
+
+  /// Handles an overflowing node on `path` (index `path_pos`): forced
+  /// reinsert on the first overflow at that level of this insertion, split
+  /// otherwise. May propagate upward.
+  void OverflowTreatment(std::vector<uint32_t> path, size_t path_pos,
+                         size_t level, bool allow_reinsert);
+
+  /// R* topological split of `node_id`; the new sibling's id is returned.
+  /// With supernodes enabled and a directory split whose halves overlap
+  /// beyond the threshold, the node is marked supernode instead and
+  /// kNoSplit is returned.
+  static constexpr uint32_t kNoSplit = static_cast<uint32_t>(-1);
+  uint32_t SplitNode(uint32_t node_id);
+
+  /// Removes the `count` entries of `node_id` farthest from its center and
+  /// reinserts them (close-reinsert order).
+  void ForcedReinsert(uint32_t node_id, size_t level,
+                      std::vector<uint32_t> path, size_t path_pos);
+
+  size_t LevelOf(size_t depth) const { return height_ - depth; }
+
+  const data::Dataset* data_;
+  Options options_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  size_t height_ = 1;
+  size_t num_points_ = 0;
+  /// Levels that already used forced reinsertion during the current
+  /// top-level Insert (R* allows it once per level per insertion).
+  std::vector<bool> reinserted_at_level_;
+};
+
+}  // namespace hdidx::index
+
+#endif  // HDIDX_INDEX_RSTAR_H_

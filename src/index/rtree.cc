@@ -1,0 +1,101 @@
+#include "index/rtree.h"
+
+#include <cassert>
+
+#include "geometry/distance.h"
+
+namespace hdidx::index {
+
+RTree::RTree(size_t dim) : dim_(dim) { assert(dim > 0); }
+
+size_t RTree::root_level() const {
+  assert(!nodes_.empty());
+  return nodes_[root_].level;
+}
+
+uint32_t RTree::AddLeaf(geometry::BoundingBox box, uint32_t level,
+                        uint32_t start, uint32_t count) {
+  assert(box.dim() == dim_);
+  RTreeNode node(dim_);
+  node.box = std::move(box);
+  node.level = level;
+  node.start = start;
+  node.count = count;
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  leaf_ids_.push_back(id);
+  return id;
+}
+
+uint32_t RTree::AddDirectory(uint32_t level, std::vector<uint32_t> children) {
+  assert(!children.empty());
+  RTreeNode node(dim_);
+  node.level = level;
+  for (uint32_t child : children) {
+    assert(child < nodes_.size());
+    node.box.ExtendBox(nodes_[child].box);
+  }
+  node.children = std::move(children);
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+RTree::AccessCount RTree::CountSphereAccesses(std::span<const float> center,
+                                              double radius) const {
+  AccessCount count;
+  if (nodes_.empty()) return count;
+  const double r2 = radius * radius;
+  // Iterative DFS. A node's page is read when its MBR intersects the query
+  // sphere; the root page is read unconditionally (every search starts
+  // there), but its children are only explored on intersection.
+  const RTreeNode& root_node = nodes_[root_];
+  const bool root_hit = geometry::SquaredMinDist(center, root_node.box) <= r2;
+  if (root_node.is_leaf()) {
+    count.leaf_accesses = root_node.pages;
+    return count;
+  }
+  count.dir_accesses = root_node.pages;
+  if (!root_hit) return count;
+  std::vector<uint32_t> stack(root_node.children.begin(),
+                              root_node.children.end());
+  while (!stack.empty()) {
+    const uint32_t id = stack.back();
+    stack.pop_back();
+    const RTreeNode& n = nodes_[id];
+    if (geometry::SquaredMinDist(center, n.box) > r2) continue;
+    if (n.is_leaf()) {
+      count.leaf_accesses += n.pages;
+    } else {
+      count.dir_accesses += n.pages;
+      for (uint32_t child : n.children) stack.push_back(child);
+    }
+  }
+  return count;
+}
+
+size_t RTree::CountBoxAccesses(const geometry::BoundingBox& box) const {
+  size_t count = 0;
+  if (nodes_.empty()) return 0;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const uint32_t id = stack.back();
+    stack.pop_back();
+    const RTreeNode& n = nodes_[id];
+    if (!n.box.Intersects(box)) continue;
+    if (n.is_leaf()) {
+      ++count;
+    } else {
+      for (uint32_t child : n.children) stack.push_back(child);
+    }
+  }
+  return count;
+}
+
+double RTree::TotalLeafVolume() const {
+  double v = 0.0;
+  for (uint32_t id : leaf_ids_) v += nodes_[id].box.Volume();
+  return v;
+}
+
+}  // namespace hdidx::index

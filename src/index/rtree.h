@@ -1,0 +1,118 @@
+#ifndef HDIDX_INDEX_RTREE_H_
+#define HDIDX_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/bounding_box.h"
+
+namespace hdidx::index {
+
+/// One node of a bulk-loaded R-tree.
+///
+/// Leaf nodes reference a contiguous range [start, start+count) of the
+/// tree's point permutation (see RTree::order()); directory nodes reference
+/// child node ids. "Leaf" here means a leaf *of this tree*: an upper tree
+/// built down to full-tree level s > 1 has leaves whose `level` is s.
+struct RTreeNode {
+  geometry::BoundingBox box;
+  /// Level in the full-tree numbering: data pages are level 1, the root of a
+  /// complete tree is at level height.
+  uint32_t level = 1;
+  /// Leaf payload: range into RTree::order().
+  uint32_t start = 0;
+  uint32_t count = 0;
+  /// Directory payload: ids of child nodes (empty for leaves).
+  std::vector<uint32_t> children;
+  /// Disk pages this node occupies (1 for ordinary nodes; X-tree
+  /// supernodes span several and charge accordingly).
+  uint32_t pages = 1;
+
+  bool is_leaf() const { return children.empty(); }
+
+  explicit RTreeNode(size_t dim) : box(dim) {}
+};
+
+/// A bulk-loaded R-tree (VAMSplit R*-tree page layout).
+///
+/// The tree does not own point coordinates; leaves reference rows of the
+/// dataset it was built from through the permutation returned by order().
+/// Query methods count page accesses — the quantity the paper predicts —
+/// rather than returning result sets; the k-NN result itself comes from
+/// index/knn.h.
+class RTree {
+ public:
+  /// Creates an empty tree over points of dimensionality `dim`.
+  explicit RTree(size_t dim);
+
+  size_t dim() const { return dim_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const RTreeNode& node(uint32_t id) const { return nodes_[id]; }
+  uint32_t root() const { return root_; }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Level of the root node (= height of this tree in full-tree numbering
+  /// when built completely).
+  size_t root_level() const;
+
+  /// Ids of this tree's leaves, in left-to-right construction order.
+  const std::vector<uint32_t>& leaf_ids() const { return leaf_ids_; }
+  size_t num_leaves() const { return leaf_ids_.size(); }
+
+  /// Permutation mapping leaf ranges to dataset row indices. Empty means
+  /// identity (points already in leaf order, as after an external build).
+  const std::vector<uint32_t>& order() const { return order_; }
+
+  /// Dataset row index for position `pos` of the permutation.
+  uint32_t OrderedIndex(uint32_t pos) const {
+    return order_.empty() ? pos : order_[pos];
+  }
+
+  // ---- Construction API (used by the bulk loaders) ----
+
+  /// Appends a leaf covering permutation range [start, start+count).
+  uint32_t AddLeaf(geometry::BoundingBox box, uint32_t level, uint32_t start,
+                   uint32_t count);
+
+  /// Appends a directory node; `children` must be valid ids. The node's box
+  /// is the union of the children's boxes.
+  uint32_t AddDirectory(uint32_t level, std::vector<uint32_t> children);
+
+  void SetRoot(uint32_t id) { root_ = id; }
+  void SetOrder(std::vector<uint32_t> order) { order_ = std::move(order); }
+
+  /// Sets the page weight of a node (X-tree supernodes span several).
+  void SetNodePages(uint32_t id, uint32_t pages) { nodes_[id].pages = pages; }
+
+  // ---- Queries ----
+
+  /// Page accesses an optimal NN search with the given query sphere incurs:
+  /// every node whose MBR intersects the sphere is read (the root is always
+  /// read). Returns (leaf accesses, directory accesses).
+  struct AccessCount {
+    size_t leaf_accesses = 0;
+    size_t dir_accesses = 0;
+    size_t total() const { return leaf_accesses + dir_accesses; }
+  };
+  AccessCount CountSphereAccesses(std::span<const float> center,
+                                  double radius) const;
+
+  /// Number of leaves whose MBR intersects `box` (range-query page count).
+  size_t CountBoxAccesses(const geometry::BoundingBox& box) const;
+
+  /// Sum of leaf-box volumes (diagnostic; shrinks under sampling, restored
+  /// by compensation).
+  double TotalLeafVolume() const;
+
+ private:
+  size_t dim_;
+  std::vector<RTreeNode> nodes_;
+  std::vector<uint32_t> leaf_ids_;
+  std::vector<uint32_t> order_;
+  uint32_t root_ = 0;
+};
+
+}  // namespace hdidx::index
+
+#endif  // HDIDX_INDEX_RTREE_H_

@@ -1,0 +1,37 @@
+#include "index/sstree.h"
+
+#include <vector>
+
+namespace hdidx::index {
+
+std::vector<geometry::BoundingSphere> ComputeLeafSpheres(
+    const RTree& tree, const data::Dataset& data) {
+  std::vector<geometry::BoundingSphere> spheres;
+  spheres.reserve(tree.num_leaves());
+  const size_t dim = data.dim();
+  std::vector<float> buffer;
+  for (uint32_t id : tree.leaf_ids()) {
+    const RTreeNode& node = tree.node(id);
+    buffer.clear();
+    buffer.reserve(node.count * dim);
+    for (uint32_t pos = node.start; pos < node.start + node.count; ++pos) {
+      const auto row = data.row(tree.OrderedIndex(pos));
+      buffer.insert(buffer.end(), row.begin(), row.end());
+    }
+    spheres.push_back(
+        geometry::BoundingSphere::OfPoints(buffer, node.count, dim));
+  }
+  return spheres;
+}
+
+size_t CountSphereAccesses(
+    const std::vector<geometry::BoundingSphere>& leaves,
+    std::span<const float> center, double radius) {
+  size_t count = 0;
+  for (const auto& sphere : leaves) {
+    if (sphere.IntersectsSphere(center, radius)) ++count;
+  }
+  return count;
+}
+
+}  // namespace hdidx::index

@@ -1,0 +1,35 @@
+#ifndef HDIDX_INDEX_SSTREE_H_
+#define HDIDX_INDEX_SSTREE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "geometry/bounding_sphere.h"
+#include "index/rtree.h"
+
+namespace hdidx::index {
+
+/// SS-tree page view over a bulk-loaded tree.
+///
+/// The SS-tree (White & Jain [35]) partitions data exactly like the
+/// VAMSplit family — maximum-variance splits at capacity multiples — but
+/// bounds each page with a centroid sphere instead of an MBR. Since the
+/// partitioning is shared, an SS-tree layout is the bulk loader's tree with
+/// the leaf regions recomputed as spheres. Section 4.7 lists the SS-tree
+/// among the structures the sampling prediction covers; this module is that
+/// coverage.
+///
+/// Computes the bounding sphere of every leaf of `tree` (which must have
+/// been built over `data`).
+std::vector<geometry::BoundingSphere> ComputeLeafSpheres(
+    const RTree& tree, const data::Dataset& data);
+
+/// Number of leaf spheres intersecting the query sphere (center, radius) —
+/// the SS-tree analogue of leaf page accesses for an NN query.
+size_t CountSphereAccesses(
+    const std::vector<geometry::BoundingSphere>& leaves,
+    std::span<const float> center, double radius);
+
+}  // namespace hdidx::index
+
+#endif  // HDIDX_INDEX_SSTREE_H_

@@ -1,0 +1,28 @@
+#ifndef HDIDX_INDEX_TREE_IO_H_
+#define HDIDX_INDEX_TREE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "index/rtree.h"
+
+namespace hdidx::index {
+
+/// Binary serialization of a bulk-loaded tree: header (magic "HDRT",
+/// version, dimensionality, node/leaf counts, root id), the point
+/// permutation, then per node its level, leaf range and children with the
+/// MBR coordinates. A saved index can be reloaded and queried without
+/// rebuilding — the missing piece between "predict the layout" and "ship
+/// the layout".
+///
+/// Writes `tree` to `path`; false and `*error` on failure.
+bool WriteTree(const RTree& tree, const std::string& path,
+               std::string* error);
+
+/// Reads a tree written by WriteTree. std::nullopt and `*error` on failure
+/// (bad magic, truncation, inconsistent counts).
+std::optional<RTree> ReadTree(const std::string& path, std::string* error);
+
+}  // namespace hdidx::index
+
+#endif  // HDIDX_INDEX_TREE_IO_H_

@@ -1,0 +1,155 @@
+#include "index/va_file.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "geometry/distance.h"
+
+namespace hdidx::index {
+
+VaFile::VaFile(const data::Dataset* data, const Options& options)
+    : data_(data), options_(options) {
+  assert(options_.bits >= 1 && options_.bits <= 16);
+  slices_ = static_cast<size_t>(1) << options_.bits;
+  const size_t n = data_->size();
+  const size_t d = data_->dim();
+  assert(n > 0);
+
+  // Equi-populated slice boundaries per dimension (empirical quantiles).
+  boundaries_.resize(d);
+  std::vector<float> column(n);
+  for (size_t k = 0; k < d; ++k) {
+    for (size_t i = 0; i < n; ++i) column[i] = data_->row(i)[k];
+    std::sort(column.begin(), column.end());
+    auto& bounds = boundaries_[k];
+    bounds.resize(slices_ + 1);
+    bounds[0] = column.front();
+    for (size_t s = 1; s < slices_; ++s) {
+      bounds[s] = column[s * n / slices_];
+    }
+    bounds[slices_] = column.back();
+    // Monotonicity under duplicates.
+    for (size_t s = 1; s <= slices_; ++s) {
+      bounds[s] = std::max(bounds[s], bounds[s - 1]);
+    }
+  }
+
+  approximation_.resize(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data_->row(i);
+    for (size_t k = 0; k < d; ++k) {
+      approximation_[i * d + k] = Quantize(k, row[k]);
+    }
+  }
+}
+
+size_t VaFile::ApproximationBytes() const {
+  return (data_->dim() * options_.bits + 7) / 8;
+}
+
+uint32_t VaFile::Quantize(size_t d, float value) const {
+  const auto& bounds = boundaries_[d];
+  // First slice whose upper boundary is >= value; slices are
+  // [bounds[s], bounds[s+1]).
+  const auto it = std::upper_bound(bounds.begin() + 1, bounds.end(), value);
+  const size_t s = static_cast<size_t>(it - bounds.begin()) - 1;
+  return static_cast<uint32_t>(std::min(s, slices_ - 1));
+}
+
+double VaFile::LowerBoundSq(std::span<const float> query, size_t row) const {
+  const size_t d = data_->dim();
+  double sum = 0.0;
+  for (size_t k = 0; k < d; ++k) {
+    const uint32_t s = approximation_[row * d + k];
+    const float lo = boundaries_[k][s];
+    const float hi = boundaries_[k][s + 1];
+    double diff = 0.0;
+    if (query[k] < lo) {
+      diff = static_cast<double>(lo) - query[k];
+    } else if (query[k] > hi) {
+      diff = static_cast<double>(query[k]) - hi;
+    }
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double VaFile::UpperBoundSq(std::span<const float> query, size_t row) const {
+  const size_t d = data_->dim();
+  double sum = 0.0;
+  for (size_t k = 0; k < d; ++k) {
+    const uint32_t s = approximation_[row * d + k];
+    const double to_lo =
+        std::abs(static_cast<double>(query[k]) - boundaries_[k][s]);
+    const double to_hi =
+        std::abs(static_cast<double>(query[k]) - boundaries_[k][s + 1]);
+    const double diff = std::max(to_lo, to_hi);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+VaFile::SearchResult VaFile::SearchKnn(std::span<const float> query, size_t k,
+                                       const io::DiskModel& disk) const {
+  assert(k > 0);
+  const size_t n = data_->size();
+  SearchResult result;
+
+  // Phase 1: sequential scan of the approximation file. Keep the k-th
+  // smallest upper bound; collect (lower bound, row) pairs that beat it.
+  std::priority_queue<double> upper_heap;  // max-heap of k smallest uppers
+  std::vector<std::pair<double, size_t>> lower_bounds;
+  lower_bounds.reserve(1024);
+  for (size_t i = 0; i < n; ++i) {
+    const double ub = UpperBoundSq(query, i);
+    if (upper_heap.size() < k) {
+      upper_heap.push(ub);
+    } else if (ub < upper_heap.top()) {
+      upper_heap.pop();
+      upper_heap.push(ub);
+    }
+    lower_bounds.emplace_back(LowerBoundSq(query, i), i);
+  }
+  const double kth_upper = upper_heap.top();
+
+  // Phase 2: visit candidates in increasing lower-bound order; stop once
+  // the next lower bound exceeds the current exact k-th distance.
+  std::sort(lower_bounds.begin(), lower_bounds.end());
+  std::priority_queue<std::pair<double, size_t>> best;  // max-heap of k
+  auto kth_exact = [&]() {
+    return best.size() < k ? std::numeric_limits<double>::infinity()
+                           : best.top().first;
+  };
+  for (const auto& [lb, row] : lower_bounds) {
+    if (lb > kth_upper || lb > kth_exact()) break;
+    ++result.candidates;
+    const double d2 = geometry::SquaredL2(data_->row(row), query);
+    if (best.size() < k) {
+      best.emplace(d2, row);
+    } else if (d2 < best.top().first) {
+      best.pop();
+      best.emplace(d2, row);
+    }
+  }
+
+  result.neighbors.resize(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    result.neighbors[i] = best.top().second;
+    result.kth_distance = std::max(result.kth_distance,
+                                   std::sqrt(best.top().first));
+    best.pop();
+  }
+
+  // I/O: the approximation file is read once sequentially; every candidate
+  // costs one random access to the exact-vector file.
+  const size_t approx_pages =
+      (n * ApproximationBytes() + disk.page_bytes - 1) / disk.page_bytes;
+  result.io.page_seeks = 1 + result.candidates;
+  result.io.page_transfers = approx_pages + result.candidates;
+  return result;
+}
+
+}  // namespace hdidx::index

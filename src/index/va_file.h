@@ -1,0 +1,85 @@
+#ifndef HDIDX_INDEX_VA_FILE_H_
+#define HDIDX_INDEX_VA_FILE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "io/disk_model.h"
+#include "io/io_stats.h"
+
+namespace hdidx::index {
+
+/// The VA-file (vector-approximation file, Weber & Blott [32]; Weber,
+/// Schek, Blott [33]).
+///
+/// Section 4.7 singles this structure out as the one NOT covered by the
+/// paper's prediction technique, "since it does not organize points in
+/// pages of fixed capacity". It is implemented here to make that boundary
+/// executable: its query cost follows a closed form (one sequential scan of
+/// the approximation file plus one random access per non-pruned candidate),
+/// not a page-layout model — `bench_va_file` demonstrates both halves.
+///
+/// Construction quantizes every dimension into 2^bits equi-populated slices
+/// (boundaries at empirical quantiles); each point's approximation is its
+/// per-dimension slice index. An exact k-NN search scans all approximations
+/// computing cell lower/upper distance bounds, keeps the k-th smallest
+/// upper bound, and fetches exactly the points whose lower bound does not
+/// exceed it (the VA-SSA algorithm).
+class VaFile {
+ public:
+  struct Options {
+    /// Bits per dimension (the paper's experiments use 4-8).
+    uint8_t bits = 8;
+  };
+
+  /// Builds the approximation file over `data` (borrowed; must outlive the
+  /// VaFile).
+  VaFile(const data::Dataset* data, const Options& options);
+
+  size_t size() const { return data_->size(); }
+  size_t dim() const { return data_->dim(); }
+  uint8_t bits() const { return options_.bits; }
+
+  /// Bytes of one approximation entry (dim * bits rounded up to bytes).
+  size_t ApproximationBytes() const;
+
+  /// Result of an exact k-NN search through the VA-file.
+  struct SearchResult {
+    /// Row ids of the k nearest points, ascending by distance.
+    std::vector<size_t> neighbors;
+    double kth_distance = 0.0;
+    /// Points whose exact vector had to be fetched (phase 2 candidates).
+    size_t candidates = 0;
+    /// Simulated I/O: sequential approximation scan + one random page
+    /// access per candidate.
+    io::IoStats io;
+  };
+
+  /// Exact k-NN by the two-phase VA-SSA algorithm.
+  SearchResult SearchKnn(std::span<const float> query, size_t k,
+                         const io::DiskModel& disk) const;
+
+  /// Slice index of `value` along dimension `d` (exposed for tests).
+  uint32_t Quantize(size_t d, float value) const;
+
+  /// Squared lower/upper distance bounds between `query` and the cell of
+  /// point `row` (exposed for tests; the bounds are what make the search
+  /// exact).
+  double LowerBoundSq(std::span<const float> query, size_t row) const;
+  double UpperBoundSq(std::span<const float> query, size_t row) const;
+
+ private:
+  const data::Dataset* data_;
+  Options options_;
+  size_t slices_;
+  /// Per dimension: slices_+1 boundary values (quantiles).
+  std::vector<std::vector<float>> boundaries_;
+  /// Row-major approximation matrix: slice index per (point, dimension).
+  std::vector<uint32_t> approximation_;
+};
+
+}  // namespace hdidx::index
+
+#endif  // HDIDX_INDEX_VA_FILE_H_

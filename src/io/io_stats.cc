@@ -1,0 +1,4 @@
+#include "io/io_stats.h"
+// IoStats is header-only; this translation unit pins the header into the
+// build so include errors surface immediately.
+

@@ -1,0 +1,40 @@
+#ifndef HDIDX_IO_IO_STATS_H_
+#define HDIDX_IO_IO_STATS_H_
+
+#include <cstdint>
+
+#include "io/disk_model.h"
+
+namespace hdidx::io {
+
+/// Counters for simulated disk activity, matching the paper's Table 3
+/// columns: "page seeks" (reads of a page not adjacent to the previously
+/// accessed page) and "page transfers" (pages moved between disk and
+/// memory).
+struct IoStats {
+  uint64_t page_seeks = 0;
+  uint64_t page_transfers = 0;
+
+  IoStats& operator+=(const IoStats& other) {
+    page_seeks += other.page_seeks;
+    page_transfers += other.page_transfers;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+
+  friend bool operator==(const IoStats& a, const IoStats& b) {
+    return a.page_seeks == b.page_seeks &&
+           a.page_transfers == b.page_transfers;
+  }
+
+  /// Total simulated wall time under the given disk parameters.
+  double CostSeconds(const DiskModel& disk) const {
+    return disk.Seconds(static_cast<double>(page_seeks),
+                        static_cast<double>(page_transfers));
+  }
+};
+
+}  // namespace hdidx::io
+
+#endif  // HDIDX_IO_IO_STATS_H_

@@ -1,0 +1,42 @@
+#include "io/lru_cache.h"
+
+namespace hdidx::io {
+
+LruCache::LruCache(size_t capacity_pages) : capacity_(capacity_pages) {}
+
+bool LruCache::Access(uint64_t page_id) {
+  const auto it = map_.find(page_id);
+  if (it != map_.end()) {
+    // Hit: move to the front.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  ++stats_.page_seeks;
+  ++stats_.page_transfers;
+  if (capacity_ == 0) return false;
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page_id);
+  map_[page_id] = lru_.begin();
+  return false;
+}
+
+double LruCache::HitRate() const {
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void LruCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  stats_ = IoStats{};
+}
+
+}  // namespace hdidx::io

@@ -1,0 +1,56 @@
+#ifndef HDIDX_IO_LRU_CACHE_H_
+#define HDIDX_IO_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "io/io_stats.h"
+
+namespace hdidx::io {
+
+/// An LRU page-cache simulation.
+///
+/// The paper assumes every query-time page access is a random disk access
+/// ("nearly all page accesses during queries were random", Section 5.1) —
+/// true for leaf pages, while the few directory pages of a tree are re-read
+/// constantly and would sit in any real buffer pool. This class makes that
+/// assumption checkable: replay an access trace through a cache of
+/// `capacity_pages` and compare the charged I/O with and without it
+/// (`bench_ablations` does exactly that).
+class LruCache {
+ public:
+  /// Cache of the given capacity in pages; 0 disables caching (every
+  /// access misses).
+  explicit LruCache(size_t capacity_pages);
+
+  /// Simulates accessing `page_id`. A miss charges one random access
+  /// (seek + transfer) to stats() and inserts the page, evicting the least
+  /// recently used one if full; a hit charges nothing.
+  /// Returns true on hit.
+  bool Access(uint64_t page_id);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const;
+
+  /// I/O charged for the misses so far.
+  const IoStats& stats() const { return stats_; }
+
+  /// Empties the cache and zeroes all counters.
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace hdidx::io
+
+#endif  // HDIDX_IO_LRU_CACHE_H_

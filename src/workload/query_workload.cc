@@ -1,0 +1,98 @@
+#include "workload/query_workload.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "geometry/distance.h"
+#include "index/knn.h"
+
+namespace hdidx::workload {
+
+QueryWorkload::QueryWorkload(data::Dataset queries, std::vector<double> radii,
+                             std::vector<size_t> rows, size_t k)
+    : queries_(std::move(queries)),
+      radii_(std::move(radii)),
+      query_rows_(std::move(rows)),
+      k_(k) {}
+
+bool QueryWorkload::Intersects(size_t i,
+                               const geometry::BoundingBox& box) const {
+  return geometry::SquaredMinDist(queries_.row(i), box) <=
+         radii_[i] * radii_[i];
+}
+
+QueryWorkload QueryWorkload::Create(const data::Dataset& data, size_t q,
+                                    size_t k, common::Rng* rng) {
+  assert(!data.empty());
+  std::vector<size_t> rows(q);
+  for (size_t i = 0; i < q; ++i) {
+    rows[i] = static_cast<size_t>(rng->NextBounded(data.size()));
+  }
+  data::Dataset queries = data.Select(rows);
+  std::vector<double> radii(q);
+  for (size_t i = 0; i < q; ++i) {
+    radii[i] = index::ExactKthDistance(data, queries.row(i), k,
+                                       /*exclude_within_sq=*/0.0);
+  }
+  return QueryWorkload(std::move(queries), std::move(radii), std::move(rows),
+                       k);
+}
+
+ScanResult ScanForWorkloadAndSample(io::PagedFile* file, size_t q, size_t k,
+                                    size_t sample_size, common::Rng* rng) {
+  const size_t n = file->size();
+  const size_t dim = file->dim();
+  assert(n > 0);
+
+  // Step 1: q random point reads (Equation 2: q * (t_seek + t_xfer)).
+  // PagedFile charges a seek per non-adjacent access automatically; reading
+  // each query point touches one page.
+  std::vector<size_t> rows(q);
+  data::Dataset queries(dim);
+  queries.Reserve(q);
+  std::vector<float> point(dim);
+  for (size_t i = 0; i < q; ++i) {
+    rows[i] = static_cast<size_t>(rng->NextBounded(n));
+    file->ReadPoint(rows[i], point.data());
+    queries.Append(point);
+  }
+
+  // Choose the sample positions up front so the sequential pass can pick
+  // them up in order.
+  std::vector<size_t> sample_rows;
+  rng->SampleIndices(n, sample_size, &sample_rows);
+
+  // Step 2: one sequential scan feeding every query's k-NN heap and
+  // collecting the sample. Memory-chunked in reality; charging the scan as
+  // one sequential access is I/O-equivalent (1 seek + N/B transfers).
+  file->ChargeAccess(0, n);
+  const auto raw = file->raw();
+
+  std::vector<index::KnnHeap> heaps(q, index::KnnHeap(k));
+  data::Dataset sample(dim);
+  sample.Reserve(sample_rows.size());
+  size_t next_sample = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::span<const float> row = raw.subspan(i * dim, dim);
+    for (size_t j = 0; j < q; ++j) {
+      const double d2 = geometry::SquaredL2(row, queries.row(j));
+      if (d2 <= 0.0 && i == rows[j]) continue;  // exclude the query itself
+      heaps[j].Push(d2);
+    }
+    if (next_sample < sample_rows.size() && sample_rows[next_sample] == i) {
+      sample.Append(row);
+      ++next_sample;
+    }
+  }
+
+  std::vector<double> radii(q);
+  for (size_t j = 0; j < q; ++j) radii[j] = heaps[j].Kth();
+
+  ScanResult result{
+      QueryWorkload(std::move(queries), std::move(radii), std::move(rows), k),
+      std::move(sample),
+      std::min(1.0, static_cast<double>(sample_size) / static_cast<double>(n))};
+  return result;
+}
+
+}  // namespace hdidx::workload

@@ -1,0 +1,96 @@
+#ifndef HDIDX_WORKLOAD_QUERY_WORKLOAD_H_
+#define HDIDX_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "io/paged_file.h"
+
+namespace hdidx::workload {
+
+/// A batch of query regions tested against page MBRs — the common face of
+/// nearest-neighbor (sphere) and range (box) workloads. The paper's
+/// prediction pipeline only ever asks one question of a query: does its
+/// region intersect this page? Everything downstream of workload
+/// construction (predictors, measurement) is therefore written against this
+/// interface and serves both query types.
+class QueryRegions {
+ public:
+  virtual ~QueryRegions() = default;
+
+  /// Number of queries in the batch.
+  virtual size_t size() const = 0;
+
+  /// True iff query i's region intersects `box` — i.e. an exact search for
+  /// query i would read a page with this MBR.
+  virtual bool Intersects(size_t i,
+                          const geometry::BoundingBox& box) const = 0;
+};
+
+/// A density-biased k-NN query workload: q query points drawn uniformly from
+/// the dataset itself (so dense regions receive proportionally more
+/// queries, Section 4.2) together with each query's exact k-NN sphere
+/// radius computed by a full scan.
+///
+/// Both measurement and prediction consume the same workload: the number of
+/// leaf pages an optimal NN search reads equals the number of leaf MBRs the
+/// k-NN sphere intersects, so a fixed sphere per query makes
+/// measured-vs-predicted comparisons exact and repeatable.
+class QueryWorkload : public QueryRegions {
+ public:
+  /// Builds a workload of `q` k-NN queries over an in-memory dataset
+  /// (no I/O accounting). The query point itself is excluded from its
+  /// neighbor set, consistent with query points drawn from the data.
+  static QueryWorkload Create(const data::Dataset& data, size_t q, size_t k,
+                              common::Rng* rng);
+
+  // QueryRegions: sphere-vs-box intersection with the exact k-NN radius.
+  size_t size() const override { return queries_.size(); }
+  bool Intersects(size_t i, const geometry::BoundingBox& box) const override;
+
+  size_t num_queries() const { return queries_.size(); }
+  size_t k() const { return k_; }
+  const data::Dataset& queries() const { return queries_; }
+  const std::vector<double>& radii() const { return radii_; }
+  double radius(size_t i) const { return radii_[i]; }
+
+  /// Row indices in the source dataset the queries were drawn from.
+  const std::vector<size_t>& query_rows() const { return query_rows_; }
+
+  /// Direct constructor for callers that computed radii themselves (the
+  /// accounted scan); prefer Create() elsewhere.
+  QueryWorkload(data::Dataset queries, std::vector<double> radii,
+                std::vector<size_t> rows, size_t k);
+
+ private:
+ data::Dataset queries_;
+  std::vector<double> radii_;
+  std::vector<size_t> query_rows_;
+  size_t k_;
+};
+
+/// Result of the predictors' combined first pass (Figures 5 and 7, steps
+/// 2-4): the query workload plus the upper-tree sample, with all I/O charged
+/// to `file`.
+struct ScanResult {
+  QueryWorkload workload;
+  data::Dataset sample;
+  /// The sampling ratio actually used: min(sample_size / N, 1).
+  double sampling_ratio = 1.0;
+};
+
+/// Executes the accounted workload-and-sample pass over the simulated disk
+/// file:
+///   1. reads `q` query points at random positions — q random accesses,
+///      the paper's cost_ReadQueryPoints (Equation 2);
+///   2. scans the whole dataset sequentially once — cost_ScanDataset —
+///      feeding every query's k-NN heap and extracting a uniform sample of
+///      min(sample_size, N) points.
+ScanResult ScanForWorkloadAndSample(io::PagedFile* file, size_t q, size_t k,
+                                    size_t sample_size, common::Rng* rng);
+
+}  // namespace hdidx::workload
+
+#endif  // HDIDX_WORKLOAD_QUERY_WORKLOAD_H_

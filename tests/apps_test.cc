@@ -1,0 +1,143 @@
+#include <algorithm>
+#include <cmath>
+
+#include "apps/dim_selector.h"
+#include "apps/page_size_tuner.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace hdidx::apps {
+namespace {
+
+class PageSizeTunerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = hdidx::testing::SmallClustered(12000, 16, 31);
+    config_.page_sizes_bytes = {4096, 8192, 16384, 32768};
+    config_.memory_points = 2000;
+    config_.num_queries = 25;
+    config_.k = 8;
+  }
+
+  data::Dataset data_{1};
+  PageSizeTunerConfig config_;
+};
+
+TEST_F(PageSizeTunerTest, ProducesOnePointPerPageSize) {
+  const auto points = TunePageSize(data_, config_);
+  ASSERT_EQ(points.size(), config_.page_sizes_bytes.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].page_bytes, config_.page_sizes_bytes[i]);
+    EXPECT_GT(points[i].measured_accesses, 0.0);
+    EXPECT_GT(points[i].predicted_accesses, 0.0);
+    EXPECT_GT(points[i].measured_cost_s, 0.0);
+  }
+}
+
+TEST_F(PageSizeTunerTest, AccessCountsDecreaseWithPageSize) {
+  // Bigger pages hold more points, so fewer pages are touched.
+  const auto points = TunePageSize(data_, config_);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].measured_accesses,
+              points[i - 1].measured_accesses * 1.05)
+        << "page size " << points[i].page_bytes;
+  }
+}
+
+TEST_F(PageSizeTunerTest, PredictionTracksMeasurementPerPageSize) {
+  const auto points = TunePageSize(data_, config_);
+  for (const auto& p : points) {
+    const double rel =
+        (p.predicted_accesses - p.measured_accesses) / p.measured_accesses;
+    EXPECT_LT(std::abs(rel), 0.5) << "page size " << p.page_bytes;
+  }
+}
+
+TEST_F(PageSizeTunerTest, BestPageSizeAgreesBetweenCurves) {
+  // The headline claim of Section 6.1: the predicted optimum matches the
+  // measured one (or a direct neighbor in the sweep).
+  const auto points = TunePageSize(data_, config_);
+  const size_t predicted_best = BestPageSize(points, /*measured=*/false);
+  const size_t measured_best = BestPageSize(points, /*measured=*/true);
+  const auto& sizes = config_.page_sizes_bytes;
+  const auto pi = std::find(sizes.begin(), sizes.end(), predicted_best);
+  const auto mi = std::find(sizes.begin(), sizes.end(), measured_best);
+  ASSERT_NE(pi, sizes.end());
+  ASSERT_NE(mi, sizes.end());
+  EXPECT_LE(std::abs(std::distance(pi, mi)), 1);
+}
+
+class DimSelectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = hdidx::testing::SmallClustered(8000, 16, 37);
+    config_.index_dims = {2, 4, 8, 16};
+    config_.memory_points = 1500;
+    config_.num_queries = 20;
+    config_.k = 5;
+  }
+
+  data::Dataset data_{1};
+  DimSelectorConfig config_;
+};
+
+TEST_F(DimSelectorTest, ProducesOnePointPerDimCount) {
+  const auto points = EvaluateIndexDims(data_, config_);
+  ASSERT_EQ(points.size(), config_.index_dims.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index_dims, config_.index_dims[i]);
+    EXPECT_GT(points[i].measured_accesses, 0.0);
+    EXPECT_GT(points[i].predicted_accesses, 0.0);
+    EXPECT_GT(points[i].num_leaf_pages, 0u);
+  }
+}
+
+TEST_F(DimSelectorTest, PageCountGrowsWithDims) {
+  // Figure 14's mechanism: more indexed dimensions -> lower page capacity
+  // -> more leaf pages.
+  const auto points = EvaluateIndexDims(data_, config_);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].num_leaf_pages, points[i - 1].num_leaf_pages);
+  }
+}
+
+TEST_F(DimSelectorTest, RefinementCountsBehaveLikeMultiStepSearch) {
+  const auto points = EvaluateIndexDims(data_, config_);
+  for (size_t i = 0; i < points.size(); ++i) {
+    // At least k candidates fall inside the filter radius (the k true
+    // neighbors always do).
+    EXPECT_GE(points[i].measured_refinements,
+              static_cast<double>(config_.k));
+    EXPECT_GT(points[i].predicted_refinements, 0.0);
+    EXPECT_GT(points[i].measured_cost_s, 0.0);
+    EXPECT_GT(points[i].predicted_cost_s, 0.0);
+  }
+  // More indexed dimensions filter better: refinements shrink (weakly)
+  // as the index space grows toward the full space.
+  EXPECT_LE(points.back().measured_refinements,
+            points.front().measured_refinements * 1.05);
+  // At full dimensionality the filter is exact: candidates ~ k.
+  EXPECT_LE(points.back().measured_refinements,
+            static_cast<double>(config_.k) + 2.0);
+}
+
+TEST_F(DimSelectorTest, PredictedRefinementsTrackMeasured) {
+  const auto points = EvaluateIndexDims(data_, config_);
+  for (const auto& p : points) {
+    const double rel = (p.predicted_refinements - p.measured_refinements) /
+                       p.measured_refinements;
+    EXPECT_LT(std::abs(rel), 0.6) << p.index_dims << " dims";
+  }
+}
+
+TEST_F(DimSelectorTest, PredictionTracksMeasurement) {
+  const auto points = EvaluateIndexDims(data_, config_);
+  for (const auto& p : points) {
+    const double rel =
+        (p.predicted_accesses - p.measured_accesses) / p.measured_accesses;
+    EXPECT_LT(std::abs(rel), 0.5) << p.index_dims << " dims";
+  }
+}
+
+}  // namespace
+}  // namespace hdidx::apps

@@ -1,0 +1,103 @@
+#include "baselines/uniform_model.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace hdidx::baselines {
+namespace {
+
+TEST(UniformModelTest, HighDimensionalSaturation) {
+  // The paper's Table 4 argument: on a 60-d dataset the uniform model
+  // predicts that every page is accessed.
+  UniformModelParams params;
+  params.num_points = 275465;
+  params.dim = 60;
+  params.num_leaf_pages = 8641;
+  params.k = 21;
+  const UniformModelResult result = PredictUniformModel(params);
+  EXPECT_DOUBLE_EQ(result.predicted_accesses, 8641.0);
+  EXPECT_DOUBLE_EQ(result.access_probability, 1.0);
+  EXPECT_GT(result.radius, 0.5);  // sphere out-grows the cube
+}
+
+TEST(UniformModelTest, LowDimensionalSelectivity) {
+  // In 2-d with many pages, only a small fraction should be touched.
+  UniformModelParams params;
+  params.num_points = 1000000;
+  params.dim = 2;
+  params.num_leaf_pages = 4096;
+  params.k = 10;
+  const UniformModelResult result = PredictUniformModel(params);
+  EXPECT_LT(result.predicted_accesses, 409.6);  // < 10% of pages
+  EXPECT_GT(result.predicted_accesses, 1.0);
+}
+
+TEST(UniformModelTest, RadiusGrowsWithK) {
+  UniformModelParams params;
+  params.num_points = 100000;
+  params.dim = 8;
+  params.num_leaf_pages = 1024;
+  params.k = 1;
+  const double r1 = PredictUniformModel(params).radius;
+  params.k = 100;
+  const double r100 = PredictUniformModel(params).radius;
+  EXPECT_GT(r100, r1);
+  // r ~ k^(1/d): ratio should be 100^(1/8).
+  EXPECT_NEAR(r100 / r1, std::pow(100.0, 1.0 / 8.0), 1e-9);
+}
+
+TEST(UniformModelTest, SplitDimsAreLogOfPages) {
+  UniformModelParams params;
+  params.num_points = 100000;
+  params.dim = 16;
+  params.num_leaf_pages = 1024;
+  params.k = 1;
+  EXPECT_EQ(PredictUniformModel(params).split_dims, 10u);
+  params.num_leaf_pages = 1025;
+  EXPECT_EQ(PredictUniformModel(params).split_dims, 11u);
+}
+
+TEST(UniformModelTest, MorePagesMoreAccessesInAbsoluteTerms) {
+  UniformModelParams params;
+  params.num_points = 1000000;
+  params.dim = 4;
+  params.k = 10;
+  params.num_leaf_pages = 1024;
+  const double few = PredictUniformModel(params).predicted_accesses;
+  params.num_leaf_pages = 8192;
+  const double many = PredictUniformModel(params).predicted_accesses;
+  EXPECT_GT(many, few);
+}
+
+TEST(UniformModelTest, AccessesNeverExceedPageCount) {
+  for (size_t d : {2u, 8u, 32u, 128u, 617u}) {
+    UniformModelParams params;
+    params.num_points = 50000;
+    params.dim = d;
+    params.num_leaf_pages = 2000;
+    params.k = 21;
+    const double accesses = PredictUniformModel(params).predicted_accesses;
+    EXPECT_LE(accesses, 2000.0);
+    EXPECT_GE(accesses, 0.0);
+  }
+}
+
+TEST(UniformModelTest, MonotoneInDimensionality) {
+  // Fixing everything else, higher embedding dimensionality cannot reduce
+  // the predicted access share (curse of dimensionality).
+  double prev = 0.0;
+  for (size_t d : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    UniformModelParams params;
+    params.num_points = 200000;
+    params.dim = d;
+    params.num_leaf_pages = 4096;
+    params.k = 21;
+    const double accesses = PredictUniformModel(params).predicted_accesses;
+    EXPECT_GE(accesses, prev * 0.999) << "d=" << d;
+    prev = accesses;
+  }
+}
+
+}  // namespace
+}  // namespace hdidx::baselines

@@ -1,0 +1,143 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hdidx::common {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double min_v = 1.0, max_v = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_LT(min_v, 0.05);
+  EXPECT_GT(max_v, 0.95);
+}
+
+TEST(RngTest, NextUniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextUniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleIndicesExactSizeSortedUnique) {
+  Rng rng(19);
+  std::vector<size_t> out;
+  rng.SampleIndices(1000, 100, &out);
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(std::set<size_t>(out.begin(), out.end()).size(), 100u);
+  EXPECT_LT(out.back(), 1000u);
+}
+
+TEST(RngTest, SampleIndicesWholePopulationWhenKExceedsN) {
+  Rng rng(23);
+  std::vector<size_t> out;
+  rng.SampleIndices(10, 50, &out);
+  ASSERT_EQ(out.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(RngTest, SampleIndicesUniformCoverage) {
+  // Each index should appear with probability k/n over repeated draws.
+  std::vector<int> counts(50, 0);
+  for (uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(seed);
+    std::vector<size_t> out;
+    rng.SampleIndices(50, 10, &out);
+    for (size_t i : out) ++counts[i];
+  }
+  // Expected 80 appearances each; allow generous slack.
+  for (int c : counts) {
+    EXPECT_GT(c, 40);
+    EXPECT_LT(c, 130);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace hdidx::common

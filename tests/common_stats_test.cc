@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace hdidx::common {
+namespace {
+
+TEST(FitLineTest, RecoversExactLine) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y = {1, 3, 5, 7, 9};  // y = 2x + 1
+  const LineFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NegativeSlopeAndCorrelation) {
+  std::vector<double> x = {0, 1, 2, 3};
+  std::vector<double> y = {6, 4, 2, 0};
+  const LineFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r, -1.0, 1e-12);
+}
+
+TEST(FitLineTest, DegenerateInputs) {
+  EXPECT_EQ(FitLine({}, {}).slope, 0.0);
+  EXPECT_EQ(FitLine({1.0}, {2.0}).slope, 0.0);
+  // Vertical data (constant x) cannot be fit.
+  const LineFit fit = FitLine({3, 3, 3}, {1, 2, 3});
+  EXPECT_EQ(fit.slope, 0.0);
+}
+
+TEST(FitLineTest, NoisyLineSlopeClose) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + ((i % 2 == 0) ? 0.1 : -0.1));
+  }
+  const LineFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-3);
+  EXPECT_GT(fit.r, 0.999);
+}
+
+TEST(StatsTest, MeanAndVariance) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(Mean({2, 4, 6}), 4.0, 1e-12);
+  EXPECT_EQ(Variance({5.0}), 0.0);
+  EXPECT_NEAR(Variance({1, 3}), 1.0, 1e-12);  // population variance
+  EXPECT_NEAR(Variance({2, 2, 2, 2}), 0.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  // Uncorrelated-by-construction: symmetric y over monotone x.
+  EXPECT_NEAR(PearsonCorrelation({-1, 0, 1}, {1, 0, 1}), 0.0, 1e-12);
+}
+
+TEST(StatsTest, RelativeErrorSignConvention) {
+  // Positive = overestimation, negative = underestimation (paper Table 3).
+  EXPECT_NEAR(RelativeError(110, 100), 0.10, 1e-12);
+  EXPECT_NEAR(RelativeError(68, 100), -0.32, 1e-12);
+  EXPECT_EQ(RelativeError(5, 0), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  const std::vector<double> v = {1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
+  RunningStats rs;
+  for (double x : v) rs.Add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(rs.variance(), Variance(v), 1e-12);
+}
+
+TEST(RunningStatsTest, SingleObservationHasZeroVariance) {
+  RunningStats rs;
+  rs.Add(42.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.mean(), 42.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares would lose precision at offset 1e9.
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) rs.Add(1e9 + (i % 2));
+  EXPECT_NEAR(rs.variance(), 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace hdidx::common

@@ -1,0 +1,103 @@
+#include "core/compensation.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "geometry/bounding_box.h"
+#include "gtest/gtest.h"
+
+namespace hdidx::core {
+namespace {
+
+TEST(CompensationTest, NoSamplingNoGrowth) {
+  EXPECT_DOUBLE_EQ(CompensationGrowthPerDim(33, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(CompensationGrowthPerDim(33, 1.5), 1.0);
+  EXPECT_DOUBLE_EQ(CompensationDelta(33, 1.0, 60), 1.0);
+}
+
+TEST(CompensationTest, MatchesTheoremFormula) {
+  const double c = 40.0, zeta = 0.25;
+  const double expected =
+      ((c * zeta + 1.0) * (c - 1.0)) / ((c * zeta - 1.0) * (c + 1.0));
+  EXPECT_DOUBLE_EQ(CompensationGrowthPerDim(c, zeta), expected);
+  EXPECT_DOUBLE_EQ(CompensationDelta(c, zeta, 5), std::pow(expected, 5.0));
+}
+
+TEST(CompensationTest, GrowthExceedsOneForRealSampling) {
+  for (double zeta : {0.05, 0.1, 0.3, 0.7, 0.99}) {
+    EXPECT_GT(CompensationGrowthPerDim(50, zeta), 1.0) << zeta;
+  }
+}
+
+TEST(CompensationTest, MonotoneInSamplingFraction) {
+  // Heavier sampling (smaller zeta) needs more growth.
+  double prev = CompensationGrowthPerDim(100, 0.9);
+  for (double zeta : {0.5, 0.2, 0.1, 0.05}) {
+    const double g = CompensationGrowthPerDim(100, zeta);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(CompensationTest, ApproachesOneAsZetaApproachesOne) {
+  EXPECT_NEAR(CompensationGrowthPerDim(1000, 0.999), 1.0, 1e-4);
+}
+
+TEST(CompensationTest, LargeCapacityLimit) {
+  // As C -> inf with fixed zeta, growth -> 1 (big pages barely shrink).
+  EXPECT_NEAR(CompensationGrowthPerDim(1e7, 0.1), 1.0, 1e-5);
+  // Small capacity shrinks a lot: growth well above 1.
+  EXPECT_GT(CompensationGrowthPerDim(10, 0.2), 1.5);
+}
+
+TEST(CompensationTest, DegenerateInputsClamped) {
+  // C*zeta <= 1: growth stays finite and positive.
+  const double g = CompensationGrowthPerDim(10, 0.05);
+  EXPECT_GT(g, 1.0);
+  EXPECT_LT(g, 5.0);
+  EXPECT_GT(CompensationGrowthPerDim(1.0, 0.5), 0.0);
+}
+
+TEST(CompensationTest, EmpiricalShrinkageMatchesTheorem) {
+  // Monte-Carlo validation of Theorem 1: the average MBR extent of C*zeta
+  // uniform points over the extent of C points matches the predicted
+  // per-dimension shrinkage 1/growth.
+  common::Rng rng(1);
+  const int kTrials = 3000;
+  const size_t c = 64;
+  const double zeta = 0.25;
+  const size_t c_sampled = static_cast<size_t>(c * zeta);
+  double extent_full = 0.0, extent_sampled = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    double lo_f = 1.0, hi_f = 0.0;
+    double lo_s = 1.0, hi_s = 0.0;
+    for (size_t i = 0; i < c; ++i) {
+      const double x = rng.NextDouble();
+      lo_f = std::min(lo_f, x);
+      hi_f = std::max(hi_f, x);
+      if (i < c_sampled) {  // the first c*zeta points are a uniform sample
+        lo_s = std::min(lo_s, x);
+        hi_s = std::max(hi_s, x);
+      }
+    }
+    extent_full += hi_f - lo_f;
+    extent_sampled += hi_s - lo_s;
+  }
+  const double measured_ratio = extent_full / extent_sampled;
+  const double predicted_ratio =
+      CompensationGrowthPerDim(static_cast<double>(c), zeta);
+  EXPECT_NEAR(measured_ratio, predicted_ratio, 0.01);
+}
+
+TEST(CompensationTest, RestoresBoxVolume) {
+  // Growing a box by the per-dim factor multiplies its volume by delta.
+  geometry::BoundingBox box({0, 0, 0}, {1, 2, 3});
+  const double volume = box.Volume();
+  const double growth = CompensationGrowthPerDim(33, 0.1);
+  box.InflateAboutCenter(growth);
+  const double expected = volume * CompensationDelta(33, 0.1, 3);
+  EXPECT_NEAR(box.Volume(), expected, 1e-4 * expected);
+}
+
+}  // namespace
+}  // namespace hdidx::core

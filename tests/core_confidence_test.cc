@@ -1,0 +1,87 @@
+#include "core/confidence.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace hdidx::core {
+namespace {
+
+TEST(StudentTTest, KnownCriticalValues) {
+  EXPECT_NEAR(StudentTCritical(2, 0.95), 12.706, 1e-3);   // df = 1
+  EXPECT_NEAR(StudentTCritical(10, 0.95), 2.262, 1e-3);   // df = 9
+  EXPECT_NEAR(StudentTCritical(31, 0.95), 2.042, 1e-3);   // df = 30
+  EXPECT_NEAR(StudentTCritical(1000, 0.95), 1.960, 1e-3); // normal limit
+  EXPECT_NEAR(StudentTCritical(10, 0.90), 1.833, 1e-3);
+  EXPECT_NEAR(StudentTCritical(10, 0.99), 3.250, 1e-3);
+}
+
+TEST(ConfidenceTest, ConstantPredictorHasZeroWidth) {
+  const auto ci = EstimateWithConfidence(
+      [](uint64_t) { return 42.0; }, 10, 1);
+  EXPECT_DOUBLE_EQ(ci.mean, 42.0);
+  EXPECT_DOUBLE_EQ(ci.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 42.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 42.0);
+  EXPECT_EQ(ci.runs, 10u);
+}
+
+TEST(ConfidenceTest, SeedsArePassedThrough) {
+  std::vector<uint64_t> seen;
+  EstimateWithConfidence(
+      [&](uint64_t seed) {
+        seen.push_back(seed);
+        return 0.0;
+      },
+      4, 100);
+  EXPECT_EQ(seen, (std::vector<uint64_t>{100, 101, 102, 103}));
+}
+
+TEST(ConfidenceTest, IntervalContainsMeanAndScalesWithSpread) {
+  auto noisy = [](double scale) {
+    return [scale](uint64_t seed) {
+      common::Rng rng(seed);
+      return 100.0 + scale * rng.NextGaussian();
+    };
+  };
+  const auto narrow = EstimateWithConfidence(noisy(1.0), 20, 7);
+  const auto wide = EstimateWithConfidence(noisy(10.0), 20, 7);
+  EXPECT_LT(narrow.lo, narrow.mean);
+  EXPECT_GT(narrow.hi, narrow.mean);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+  // Same seeds, 10x the spread: widths scale by ~10.
+  EXPECT_NEAR((wide.hi - wide.lo) / (narrow.hi - narrow.lo), 10.0, 0.5);
+}
+
+TEST(ConfidenceTest, CoverageOnGaussianData) {
+  // The 95% interval should contain the true mean in roughly 95% of
+  // repeated experiments.
+  int covered = 0;
+  const int kExperiments = 300;
+  for (int e = 0; e < kExperiments; ++e) {
+    const auto ci = EstimateWithConfidence(
+        [e](uint64_t seed) {
+          common::Rng rng(seed * 7919 + e);
+          return 50.0 + 5.0 * rng.NextGaussian();
+        },
+        8, static_cast<uint64_t>(e) * 1000 + 1);
+    if (ci.lo <= 50.0 && 50.0 <= ci.hi) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / kExperiments;
+  EXPECT_GT(coverage, 0.89);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(ConfidenceTest, HigherConfidenceWiderInterval) {
+  auto predict = [](uint64_t seed) {
+    common::Rng rng(seed);
+    return rng.NextGaussian();
+  };
+  const auto c90 = EstimateWithConfidence(predict, 12, 3, 0.90);
+  const auto c99 = EstimateWithConfidence(predict, 12, 3, 0.99);
+  EXPECT_GT(c99.hi - c99.lo, c90.hi - c90.lo);
+}
+
+}  // namespace
+}  // namespace hdidx::core

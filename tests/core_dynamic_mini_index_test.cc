@@ -1,0 +1,94 @@
+#include "core/dynamic_mini_index.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "index/rstar.h"
+#include "test_util.h"
+#include "workload/query_workload.h"
+
+namespace hdidx::core {
+namespace {
+
+class DynamicPredictionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = hdidx::testing::SmallClustered(12000, 6, 21);
+    options_.max_data_entries = 40;
+    options_.max_dir_entries = 10;
+    common::Rng wrng(22);
+    workload_ = std::make_unique<workload::QueryWorkload>(
+        workload::QueryWorkload::Create(data_, 30, 8, &wrng));
+
+    const index::RTree tree =
+        index::RStarTree::BuildByInsertion(data_, options_).ToRTree();
+    num_real_leaves_ = tree.num_leaves();
+    measured_ = common::Mean(MeasureLeafAccesses(tree, *workload_, nullptr));
+  }
+
+  data::Dataset data_{1};
+  index::RStarTree::Options options_;
+  std::unique_ptr<workload::QueryWorkload> workload_;
+  double measured_ = 0.0;
+  size_t num_real_leaves_ = 0;
+};
+
+TEST_F(DynamicPredictionTest, FullSampleCloseToMeasurement) {
+  DynamicMiniIndexParams params;
+  params.sampling_fraction = 1.0;
+  const PredictionResult result =
+      PredictDynamicRStar(data_, options_, *workload_, params);
+  // zeta = 1: the mini index IS an R*-tree on the full data. Insertion
+  // order matches, so this reproduces the measurement exactly.
+  EXPECT_NEAR(result.avg_leaf_accesses, measured_, 1e-9);
+}
+
+TEST_F(DynamicPredictionTest, SampledPredictionTracksMeasurement) {
+  DynamicMiniIndexParams params;
+  params.sampling_fraction = 0.3;
+  const PredictionResult result =
+      PredictDynamicRStar(data_, options_, *workload_, params);
+  const double rel =
+      common::RelativeError(result.avg_leaf_accesses, measured_);
+  // Dynamic trees lack the bulk loader's exact structural-similarity
+  // guarantee (capacity rounding), so the band is wider than Table 3's.
+  EXPECT_LT(std::abs(rel), 0.4) << "relative error " << rel;
+}
+
+TEST_F(DynamicPredictionTest, CompensationImprovesAccuracy) {
+  DynamicMiniIndexParams with, without;
+  with.sampling_fraction = without.sampling_fraction = 0.25;
+  without.compensate = false;
+  const double pred_with =
+      PredictDynamicRStar(data_, options_, *workload_, with)
+          .avg_leaf_accesses;
+  const double pred_without =
+      PredictDynamicRStar(data_, options_, *workload_, without)
+          .avg_leaf_accesses;
+  EXPECT_LT(pred_without, pred_with);  // shrunken pages hit fewer regions
+}
+
+TEST_F(DynamicPredictionTest, LeafCountInRightBallpark) {
+  DynamicMiniIndexParams params;
+  params.sampling_fraction = 0.3;
+  const PredictionResult result =
+      PredictDynamicRStar(data_, options_, *workload_, params);
+  EXPECT_GT(result.num_predicted_leaves, num_real_leaves_ / 2);
+  EXPECT_LT(result.num_predicted_leaves, num_real_leaves_ * 2);
+}
+
+TEST_F(DynamicPredictionTest, DeterministicPerSeed) {
+  DynamicMiniIndexParams params;
+  params.sampling_fraction = 0.2;
+  params.seed = 77;
+  const auto a = PredictDynamicRStar(data_, options_, *workload_, params);
+  const auto b = PredictDynamicRStar(data_, options_, *workload_, params);
+  EXPECT_EQ(a.avg_leaf_accesses, b.avg_leaf_accesses);
+}
+
+}  // namespace
+}  // namespace hdidx::core

@@ -1,0 +1,83 @@
+#include "data/dataset.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hdidx::data {
+namespace {
+
+TEST(DatasetTest, EmptyAndZeroInitialized) {
+  Dataset empty(4);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.dim(), 4u);
+
+  Dataset zeros(3, 2);
+  EXPECT_EQ(zeros.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(zeros.row(i)[0], 0.0f);
+    EXPECT_EQ(zeros.row(i)[1], 0.0f);
+  }
+}
+
+TEST(DatasetTest, FromBufferAndRowAccess) {
+  Dataset d({1, 2, 3, 4, 5, 6}, 3);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.row(0)[2], 3.0f);
+  EXPECT_EQ(d.row(1)[0], 4.0f);
+}
+
+TEST(DatasetTest, AppendGrows) {
+  Dataset d(2);
+  d.Append(std::vector<float>{1, 2});
+  d.Append(std::vector<float>{3, 4});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.row(1)[1], 4.0f);
+}
+
+TEST(DatasetTest, MutableRowWritesThrough) {
+  Dataset d(2, 2);
+  d.mutable_row(1)[0] = 9.0f;
+  EXPECT_EQ(d.row(1)[0], 9.0f);
+  EXPECT_EQ(d.data()[2], 9.0f);
+}
+
+TEST(DatasetTest, BoundsCoverAllRows) {
+  Dataset d({0, 5, 2, -1, 1, 3}, 2);
+  const auto box = d.Bounds();
+  EXPECT_EQ(box.lo(), (std::vector<float>{0, -1}));
+  EXPECT_EQ(box.hi(), (std::vector<float>{2, 5}));
+}
+
+TEST(DatasetTest, SelectPreservesOrderAndValues) {
+  Dataset d({10, 20, 30, 40, 50, 60}, 2);
+  const Dataset sel = d.Select({2, 0});
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel.row(0)[0], 50.0f);
+  EXPECT_EQ(sel.row(1)[0], 10.0f);
+}
+
+TEST(DatasetTest, SelectWithDuplicates) {
+  Dataset d({1, 2, 3, 4}, 2);
+  const Dataset sel = d.Select({1, 1, 1});
+  ASSERT_EQ(sel.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(sel.row(i)[1], 4.0f);
+}
+
+TEST(DatasetTest, ProjectPrefixKeepsLeadingDims) {
+  Dataset d({1, 2, 3, 4, 5, 6}, 3);
+  const Dataset proj = d.ProjectPrefix(2);
+  EXPECT_EQ(proj.dim(), 2u);
+  ASSERT_EQ(proj.size(), 2u);
+  EXPECT_EQ(proj.row(0)[0], 1.0f);
+  EXPECT_EQ(proj.row(0)[1], 2.0f);
+  EXPECT_EQ(proj.row(1)[0], 4.0f);
+}
+
+TEST(DatasetTest, ProjectFullWidthIsIdentity) {
+  Dataset d({1, 2, 3, 4}, 2);
+  EXPECT_TRUE(d.ProjectPrefix(2) == d);
+}
+
+}  // namespace
+}  // namespace hdidx::data

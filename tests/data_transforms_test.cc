@@ -1,0 +1,160 @@
+#include "data/transforms.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "gtest/gtest.h"
+
+#include "data/generators.h"
+
+namespace hdidx::data {
+namespace {
+
+Dataset GenerateTestCloud(common::Rng* rng) {
+  ClusteredConfig config;
+  config.num_points = 500;
+  config.dim = 5;
+  config.num_clusters = 3;
+  return GenerateClustered(config, rng);
+}
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnDecomposition) {
+  const std::vector<double> m = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  std::vector<double> values, vectors;
+  JacobiEigenSymmetric(m, 3, &values, &vectors);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 2.0, 1e-10);
+  EXPECT_NEAR(values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1), (1,-1).
+  const std::vector<double> m = {2, 1, 1, 2};
+  std::vector<double> values, vectors;
+  JacobiEigenSymmetric(m, 2, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // First eigenvector proportional to (1,1).
+  EXPECT_NEAR(std::abs(vectors[0]), std::abs(vectors[1]), 1e-8);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  // A = V^T diag(e) V must equal the input for a random symmetric matrix.
+  common::Rng rng(5);
+  const size_t n = 6;
+  std::vector<double> m(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m[i * n + j] = m[j * n + i] = rng.NextGaussian();
+    }
+  }
+  std::vector<double> values, vectors;
+  JacobiEigenSymmetric(m, n, &values, &vectors);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        sum += vectors[k * n + i] * values[k] * vectors[k * n + j];
+      }
+      EXPECT_NEAR(sum, m[i * n + j], 1e-8) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  common::Rng rng(6);
+  const size_t n = 5;
+  std::vector<double> m(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m[i * n + j] = m[j * n + i] = rng.NextDouble();
+    }
+  }
+  std::vector<double> values, vectors;
+  JacobiEigenSymmetric(m, n, &values, &vectors);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      double dot = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        dot += vectors[a * n + k] * vectors[b * n + k];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(KltTest, DecorrelatesAndOrdersVariance) {
+  // Strongly correlated 3-d data: y = 2x + noise, z independent small.
+  common::Rng rng(7);
+  Dataset d(3);
+  for (int i = 0; i < 3000; ++i) {
+    const float x = static_cast<float>(rng.NextGaussian());
+    const float y = 2.0f * x + 0.1f * static_cast<float>(rng.NextGaussian());
+    const float z = 0.05f * static_cast<float>(rng.NextGaussian());
+    d.Append(std::vector<float>{x, y, z});
+  }
+  const KltTransform klt = KltTransform::Fit(d);
+  const Dataset t = klt.Apply(d);
+
+  // Eigenvalues decreasing.
+  for (size_t i = 1; i < 3; ++i) {
+    EXPECT_GE(klt.eigenvalues()[i - 1], klt.eigenvalues()[i]);
+  }
+  // Output components decorrelated.
+  std::vector<double> c0, c1;
+  for (size_t i = 0; i < t.size(); ++i) {
+    c0.push_back(t.row(i)[0]);
+    c1.push_back(t.row(i)[1]);
+  }
+  EXPECT_LT(std::abs(common::PearsonCorrelation(c0, c1)), 0.05);
+  // Output variance along component i equals eigenvalue i.
+  EXPECT_NEAR(common::Variance(c0), klt.eigenvalues()[0],
+              0.02 * klt.eigenvalues()[0]);
+}
+
+TEST(KltTest, PreservesPairwiseDistances) {
+  // KLT is a rotation plus translation: distances are invariant.
+  common::Rng rng(8);
+  const Dataset d = GenerateTestCloud(&rng);
+  const KltTransform klt = KltTransform::Fit(d);
+  const Dataset t = klt.Apply(d);
+  for (size_t i = 0; i + 1 < d.size(); i += 7) {
+    double orig = 0.0, trans = 0.0;
+    for (size_t k = 0; k < d.dim(); ++k) {
+      orig += (d.row(i)[k] - d.row(i + 1)[k]) * (d.row(i)[k] - d.row(i + 1)[k]);
+      trans +=
+          (t.row(i)[k] - t.row(i + 1)[k]) * (t.row(i)[k] - t.row(i + 1)[k]);
+    }
+    EXPECT_NEAR(orig, trans, 1e-3 * (orig + 1.0));
+  }
+}
+
+TEST(DftTest, ConstantSignalIsPureDc) {
+  Dataset d(1, 8);
+  for (size_t k = 0; k < 8; ++k) d.mutable_row(0)[k] = 3.0f;
+  const Dataset t = DftTransform(d);
+  // DC = sum / sqrt(d) = 24/sqrt(8); all other outputs ~0.
+  EXPECT_NEAR(t.row(0)[0], 24.0 / std::sqrt(8.0), 1e-4);
+  for (size_t k = 1; k < 8; ++k) EXPECT_NEAR(t.row(0)[k], 0.0, 1e-4);
+}
+
+TEST(DftTest, SingleToneLandsInItsBin) {
+  const size_t n = 16;
+  Dataset d(1, n);
+  for (size_t k = 0; k < n; ++k) {
+    d.mutable_row(0)[k] =
+        static_cast<float>(std::cos(2.0 * M_PI * 2.0 * k / n));
+  }
+  const Dataset t = DftTransform(d);
+  // Layout: [Re F0, Re F1, Im F1, Re F2, Im F2, ...]; frequency-2 real slot
+  // is index 3. |Re F2| = n/2 / sqrt(n) = sqrt(n)/2.
+  EXPECT_NEAR(std::abs(t.row(0)[3]), std::sqrt(static_cast<double>(n)) / 2.0,
+              1e-3);
+  EXPECT_NEAR(t.row(0)[0], 0.0, 1e-3);  // no DC
+  EXPECT_NEAR(t.row(0)[1], 0.0, 1e-3);  // no f=1 energy
+}
+
+}  // namespace
+}  // namespace hdidx::data

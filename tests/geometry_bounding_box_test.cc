@@ -1,0 +1,129 @@
+#include "geometry/bounding_box.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hdidx::geometry {
+namespace {
+
+TEST(BoundingBoxTest, EmptyBoxProperties) {
+  BoundingBox box(3);
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.Volume(), 0.0);
+  EXPECT_EQ(box.Margin(), 0.0);
+  EXPECT_EQ(box.Extent(0), 0.0f);
+  const std::vector<float> p = {0, 0, 0};
+  EXPECT_FALSE(box.Contains(p));
+}
+
+TEST(BoundingBoxTest, ExtendFromEmptyGivesPointBox) {
+  BoundingBox box(2);
+  const std::vector<float> p = {1.0f, 2.0f};
+  box.Extend(p);
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains(p));
+  EXPECT_EQ(box.Volume(), 0.0);
+  EXPECT_EQ(box.lo(), p);
+  EXPECT_EQ(box.hi(), p);
+}
+
+TEST(BoundingBoxTest, ExtendGrowsMinimally) {
+  BoundingBox box(2);
+  box.Extend(std::vector<float>{0, 0});
+  box.Extend(std::vector<float>{2, 1});
+  box.Extend(std::vector<float>{1, 0.5f});  // interior: no growth
+  EXPECT_EQ(box.lo(), (std::vector<float>{0, 0}));
+  EXPECT_EQ(box.hi(), (std::vector<float>{2, 1}));
+  EXPECT_DOUBLE_EQ(box.Volume(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 3.0);
+}
+
+TEST(BoundingBoxTest, ExtendBoxAndUnion) {
+  BoundingBox a({0, 0}, {1, 1});
+  BoundingBox b({2, -1}, {3, 0.5});
+  const BoundingBox u = BoundingBox::Union(a, b);
+  EXPECT_EQ(u.lo(), (std::vector<float>{0, -1}));
+  EXPECT_EQ(u.hi(), (std::vector<float>{3, 1}));
+  // Union with an empty box is identity.
+  BoundingBox empty(2);
+  EXPECT_TRUE(BoundingBox::Union(a, empty) == a);
+  EXPECT_TRUE(BoundingBox::Union(empty, a) == a);
+}
+
+TEST(BoundingBoxTest, IntersectionCases) {
+  BoundingBox a({0, 0}, {2, 2});
+  BoundingBox overlapping({1, 1}, {3, 3});
+  BoundingBox touching({2, 0}, {3, 2});  // shares a face
+  BoundingBox disjoint({5, 5}, {6, 6});
+  BoundingBox contained({0.5, 0.5}, {1.5, 1.5});
+  EXPECT_TRUE(a.Intersects(overlapping));
+  EXPECT_TRUE(a.Intersects(touching));
+  EXPECT_FALSE(a.Intersects(disjoint));
+  EXPECT_TRUE(a.Intersects(contained));
+  EXPECT_TRUE(contained.Intersects(a));
+  BoundingBox empty(2);
+  EXPECT_FALSE(a.Intersects(empty));
+  EXPECT_FALSE(empty.Intersects(a));
+}
+
+TEST(BoundingBoxTest, ContainsIsInclusive) {
+  BoundingBox box({0, 0}, {1, 1});
+  EXPECT_TRUE(box.Contains(std::vector<float>{0, 0}));
+  EXPECT_TRUE(box.Contains(std::vector<float>{1, 1}));
+  EXPECT_TRUE(box.Contains(std::vector<float>{0.5f, 1}));
+  EXPECT_FALSE(box.Contains(std::vector<float>{1.0001f, 0.5f}));
+}
+
+TEST(BoundingBoxTest, InflateAboutCenterScalesVolume) {
+  BoundingBox box({0, 0, 0}, {2, 4, 8});
+  const double volume = box.Volume();
+  box.InflateAboutCenter(2.0);
+  EXPECT_NEAR(box.Volume(), volume * 8.0, 1e-6);
+  // Center preserved.
+  EXPECT_FLOAT_EQ(box.Center(0), 1.0f);
+  EXPECT_FLOAT_EQ(box.Center(1), 2.0f);
+  EXPECT_FLOAT_EQ(box.Center(2), 4.0f);
+  // Shrinking is the inverse.
+  box.InflateAboutCenter(0.5);
+  EXPECT_NEAR(box.Volume(), volume, 1e-4);
+}
+
+TEST(BoundingBoxTest, InflateByOneIsIdentity) {
+  BoundingBox box({-1, 2}, {3, 5});
+  const BoundingBox before = box;
+  box.InflateAboutCenter(1.0);
+  EXPECT_TRUE(box == before);
+}
+
+TEST(BoundingBoxTest, LongestDimension) {
+  BoundingBox box({0, 0, 0}, {1, 5, 3});
+  EXPECT_EQ(box.LongestDimension(), 1u);
+  BoundingBox tie({0, 0}, {2, 2});
+  EXPECT_EQ(tie.LongestDimension(), 0u);  // ties break low
+}
+
+TEST(BoundingBoxTest, OfPointsComputesMbr) {
+  const std::vector<float> pts = {0, 0, 3, 1, 1, -2};
+  const BoundingBox box = BoundingBox::OfPoints(pts, 3, 2);
+  EXPECT_EQ(box.lo(), (std::vector<float>{0, -2}));
+  EXPECT_EQ(box.hi(), (std::vector<float>{3, 1}));
+}
+
+TEST(BoundingBoxTest, ClearRestoresEmpty) {
+  BoundingBox box({0, 0}, {1, 1});
+  box.Clear();
+  EXPECT_TRUE(box.empty());
+  box.Extend(std::vector<float>{5, 5});
+  EXPECT_TRUE(box.Contains(std::vector<float>{5, 5}));
+}
+
+TEST(BoundingBoxTest, HighDimensionalVolume) {
+  std::vector<float> lo(64, 0.0f), hi(64, 0.5f);
+  BoundingBox box(lo, hi);
+  EXPECT_NEAR(box.Volume(), std::pow(0.5, 64), 1e-25);
+}
+
+}  // namespace
+}  // namespace hdidx::geometry

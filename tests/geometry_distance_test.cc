@@ -1,0 +1,80 @@
+#include "geometry/distance.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hdidx::geometry {
+namespace {
+
+TEST(DistanceTest, L2Basics) {
+  const std::vector<float> a = {0, 0}, b = {3, 4};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(L2(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(L2(a, a), 0.0);
+}
+
+TEST(DistanceTest, MinDistZeroInsideBox) {
+  const BoundingBox box({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(MinDist(std::vector<float>{1, 1}, box), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist(std::vector<float>{0, 2}, box), 0.0);  // boundary
+}
+
+TEST(DistanceTest, MinDistToFaceEdgeCorner) {
+  const BoundingBox box({0, 0}, {2, 2});
+  // Face: directly right of the box.
+  EXPECT_DOUBLE_EQ(MinDist(std::vector<float>{3, 1}, box), 1.0);
+  // Corner: diagonal from (2,2).
+  EXPECT_DOUBLE_EQ(MinDist(std::vector<float>{5, 6}, box), 5.0);
+  // Below-left corner.
+  EXPECT_DOUBLE_EQ(MinDist(std::vector<float>{-3, -4}, box), 5.0);
+}
+
+TEST(DistanceTest, MaxDistReachesFarthestCorner) {
+  const BoundingBox box({0, 0}, {2, 2});
+  // From the origin corner, the farthest point is (2,2).
+  EXPECT_DOUBLE_EQ(MaxDist(std::vector<float>{0, 0}, box), std::sqrt(8.0));
+  // From the center, any corner.
+  EXPECT_DOUBLE_EQ(MaxDist(std::vector<float>{1, 1}, box), std::sqrt(2.0));
+}
+
+TEST(DistanceTest, MinDistNeverExceedsMaxDist) {
+  const BoundingBox box({-1, 2, 0}, {4, 3, 7});
+  const std::vector<std::vector<float>> points = {
+      {0, 0, 0}, {10, 10, 10}, {-5, 2.5f, 3}, {2, 2.5f, 5}};
+  for (const auto& p : points) {
+    EXPECT_LE(MinDist(p, box), MaxDist(p, box));
+  }
+}
+
+TEST(DistanceTest, SphereBoxIntersection) {
+  const BoundingBox box({0, 0}, {1, 1});
+  const std::vector<float> center = {2, 0.5f};
+  EXPECT_FALSE(SphereIntersectsBox(center, 0.99, box));
+  EXPECT_TRUE(SphereIntersectsBox(center, 1.0, box));  // touching counts
+  EXPECT_TRUE(SphereIntersectsBox(center, 1.5, box));
+}
+
+TEST(DistanceTest, EmptyBoxIsInfinitelyFar) {
+  const BoundingBox empty(2);
+  const std::vector<float> p = {0, 0};
+  EXPECT_TRUE(std::isinf(MinDist(p, empty)));
+  EXPECT_FALSE(SphereIntersectsBox(p, 1e12, empty));
+}
+
+TEST(UnitSphereVolumeTest, KnownLowDimensions) {
+  EXPECT_NEAR(UnitSphereVolume(1), 2.0, 1e-12);             // segment
+  EXPECT_NEAR(UnitSphereVolume(2), M_PI, 1e-12);            // disk
+  EXPECT_NEAR(UnitSphereVolume(3), 4.0 / 3.0 * M_PI, 1e-12);
+}
+
+TEST(UnitSphereVolumeTest, VanishesInHighDimensions) {
+  // V_d -> 0 super-exponentially; by d=60 it is astronomically small.
+  EXPECT_LT(UnitSphereVolume(60), 1e-17);
+  EXPECT_GT(UnitSphereVolume(60), 0.0);
+  EXPECT_GT(UnitSphereVolume(5), UnitSphereVolume(20));
+}
+
+}  // namespace
+}  // namespace hdidx::geometry

@@ -1,0 +1,177 @@
+#include "index/bulk_loader.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace hdidx::index {
+namespace {
+
+TEST(BulkLoaderTest, FullTreeInvariants) {
+  const auto data = hdidx::testing::SmallClustered(2000, 6, 1);
+  const TreeTopology topo(data.size(), 20, 5);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  const RTree tree = BulkLoadInMemory(data, options);
+  hdidx::testing::ExpectValidTree(tree, data, 1);
+  EXPECT_EQ(tree.root_level(), topo.height());
+}
+
+TEST(BulkLoaderTest, LeafCountMatchesTopology) {
+  const auto data = hdidx::testing::SmallClustered(3000, 4, 2);
+  const TreeTopology topo(data.size(), 25, 8);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  const RTree tree = BulkLoadInMemory(data, options);
+  EXPECT_EQ(tree.num_leaves(), topo.NumLeaves());
+}
+
+TEST(BulkLoaderTest, LeafCapacityRespected) {
+  const auto data = hdidx::testing::SmallClustered(1234, 3, 3);
+  const TreeTopology topo(data.size(), 17, 4);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  const RTree tree = BulkLoadInMemory(data, options);
+  for (uint32_t id : tree.leaf_ids()) {
+    EXPECT_LE(tree.node(id).count, 17u);
+    EXPECT_GE(tree.node(id).count, 1u);
+  }
+}
+
+TEST(BulkLoaderTest, SinglePageDataset) {
+  const auto data = hdidx::testing::SmallClustered(15, 3, 4);
+  const TreeTopology topo(data.size(), 20, 4);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  const RTree tree = BulkLoadInMemory(data, options);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.node(tree.root()).is_leaf());
+}
+
+TEST(BulkLoaderTest, MaxVarianceSplitSeparatesBimodalData) {
+  // Two tight clusters far apart along dim 1: the top split must separate
+  // them, so the two level-1 leaves of a 2-leaf tree have disjoint extents
+  // along dim 1.
+  common::Rng rng(5);
+  data::Dataset data(2);
+  for (int i = 0; i < 40; ++i) {
+    const float y = (i % 2 == 0) ? 0.0f : 10.0f;
+    data.Append(std::vector<float>{
+        static_cast<float>(rng.NextDouble()),
+        y + 0.01f * static_cast<float>(rng.NextGaussian())});
+  }
+  const TreeTopology topo(data.size(), 20, 4);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  const RTree tree = BulkLoadInMemory(data, options);
+  ASSERT_EQ(tree.num_leaves(), 2u);
+  const auto& a = tree.node(tree.leaf_ids()[0]).box;
+  const auto& b = tree.node(tree.leaf_ids()[1]).box;
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(BulkLoaderTest, UpperTreeStopsAtStopLevel) {
+  const auto data = hdidx::testing::SmallClustered(4000, 5, 6);
+  const TreeTopology topo(data.size(), 10, 4);  // height 5 for n=4000
+  ASSERT_GE(topo.height(), 3u);
+  const size_t stop = topo.height() - 1;  // h_upper = 2
+  BulkLoadOptions options;
+  options.topology = &topo;
+  options.stop_level = stop;
+  const RTree tree = BulkLoadInMemory(data, options);
+  hdidx::testing::ExpectValidTree(tree, data, stop);
+  EXPECT_EQ(tree.num_leaves(), topo.NodesAtLevel(stop));
+}
+
+TEST(BulkLoaderTest, ScaledBuildReplicatesStructure) {
+  // A mini-index on a 10% sample must have the same leaf count as the full
+  // index (structural similarity, Section 3.1).
+  const auto data = hdidx::testing::SmallClustered(5000, 4, 7);
+  const TreeTopology topo(data.size(), 25, 6);
+
+  common::Rng rng(8);
+  std::vector<size_t> rows;
+  rng.SampleIndices(data.size(), 500, &rows);
+  const data::Dataset sample = data.Select(rows);
+
+  BulkLoadOptions full;
+  full.topology = &topo;
+  const RTree full_tree = BulkLoadInMemory(data, full);
+
+  BulkLoadOptions mini;
+  mini.topology = &topo;
+  mini.scale = 0.1;
+  const RTree mini_tree = BulkLoadInMemory(sample, mini);
+
+  EXPECT_EQ(mini_tree.num_leaves(), full_tree.num_leaves());
+  EXPECT_EQ(mini_tree.root_level(), full_tree.root_level());
+  hdidx::testing::ExpectValidTree(mini_tree, sample, 1);
+}
+
+TEST(BulkLoaderTest, SampledLeavesShrink) {
+  // Without compensation, the total leaf volume of a mini-index is smaller
+  // than the full index's (the effect Theorem 1 corrects).
+  const auto data = hdidx::testing::SmallClustered(8000, 4, 9);
+  const TreeTopology topo(data.size(), 40, 8);
+
+  BulkLoadOptions full;
+  full.topology = &topo;
+  const RTree full_tree = BulkLoadInMemory(data, full);
+
+  common::Rng rng(10);
+  std::vector<size_t> rows;
+  rng.SampleIndices(data.size(), 800, &rows);
+  BulkLoadOptions mini;
+  mini.topology = &topo;
+  mini.scale = 0.1;
+  const RTree mini_tree = BulkLoadInMemory(data.Select(rows), mini);
+
+  EXPECT_LT(mini_tree.TotalLeafVolume(), full_tree.TotalLeafVolume());
+}
+
+TEST(BulkLoaderTest, LowerTreeRootLevelBuild) {
+  // Build a subtree rooted below the root level, as the resampled predictor
+  // does for lower trees.
+  const auto data = hdidx::testing::SmallClustered(150, 3, 11);
+  const TreeTopology topo(10000, 10, 4);  // full tree of height 5
+  BulkLoadOptions options;
+  options.topology = &topo;
+  options.root_level = 3;  // lower tree of height 3
+  const RTree tree = BulkLoadInMemory(data, options);
+  EXPECT_EQ(tree.root_level(), 3u);
+  hdidx::testing::ExpectValidTree(tree, data, 1);
+  // capacity(2) = 40: 150 points need 4 children under the root.
+  EXPECT_EQ(tree.node(tree.root()).children.size(), 4u);
+}
+
+TEST(BulkLoaderTest, DeterministicForSameInputs) {
+  const auto data = hdidx::testing::SmallClustered(1000, 4, 12);
+  const TreeTopology topo(data.size(), 15, 4);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  const RTree a = BulkLoadInMemory(data, options);
+  const RTree b = BulkLoadInMemory(data, options);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (uint32_t id = 0; id < a.num_nodes(); ++id) {
+    EXPECT_TRUE(a.node(id).box == b.node(id).box);
+  }
+}
+
+TEST(BulkLoaderTest, TinyScaleClampsToOnePointPerPage) {
+  // scale so small that scaled capacity < 1: pages hold >= 1 point and the
+  // build still covers everything.
+  const auto data = hdidx::testing::SmallClustered(50, 3, 13);
+  const TreeTopology topo(50000, 20, 5);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  options.scale = 0.001;
+  const RTree tree = BulkLoadInMemory(data, options);
+  hdidx::testing::ExpectValidTree(tree, data, 1);
+}
+
+}  // namespace
+}  // namespace hdidx::index

@@ -1,0 +1,136 @@
+#include "index/external_build.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <span>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "index/bulk_loader.h"
+#include "test_util.h"
+
+namespace hdidx::index {
+namespace {
+
+class ExternalBuildTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kN = 5000;
+  static constexpr size_t kDim = 8;
+
+  void SetUp() override {
+    data_ = hdidx::testing::SmallClustered(kN, kDim, 21);
+    topo_ = std::make_unique<TreeTopology>(kN, 25, 6);
+  }
+
+  ExternalBuildResult Build(size_t memory_points) {
+    file_ = std::make_unique<io::PagedFile>(
+        io::PagedFile::FromDataset(data_, io::DiskModel{}));
+    ExternalBuildOptions options;
+    options.topology = topo_.get();
+    options.memory_points = memory_points;
+    return BuildOnDisk(file_.get(), options);
+  }
+
+  data::Dataset data_{1};
+  std::unique_ptr<TreeTopology> topo_;
+  std::unique_ptr<io::PagedFile> file_;
+};
+
+TEST_F(ExternalBuildTest, TreeIsValidOverReorderedFile) {
+  const ExternalBuildResult result = Build(600);
+  // The file was physically reordered into leaf order; validate against it.
+  const data::Dataset reordered(
+      std::vector<float>(file_->raw().begin(), file_->raw().end()), kDim);
+  hdidx::testing::ExpectValidTree(result.tree, reordered, 1);
+  EXPECT_TRUE(result.tree.order().empty());  // identity order
+}
+
+TEST_F(ExternalBuildTest, FilePermutationOfOriginal) {
+  const ExternalBuildResult result = Build(600);
+  // Same multiset of points: compare sorted coordinate sums.
+  auto digest = [&](std::span<const float> buf) {
+    std::vector<double> sums(kN, 0.0);
+    for (size_t i = 0; i < kN; ++i) {
+      for (size_t k = 0; k < kDim; ++k) sums[i] += buf[i * kDim + k];
+    }
+    std::sort(sums.begin(), sums.end());
+    return sums;
+  };
+  EXPECT_EQ(digest(file_->raw()), digest(data_.data()));
+}
+
+TEST_F(ExternalBuildTest, StructureMatchesInMemoryBuild) {
+  const ExternalBuildResult external = Build(600);
+  BulkLoadOptions options;
+  options.topology = topo_.get();
+  const RTree in_memory = BulkLoadInMemory(data_, options);
+  EXPECT_EQ(external.tree.num_nodes(), in_memory.num_nodes());
+  EXPECT_EQ(external.tree.num_leaves(), in_memory.num_leaves());
+  EXPECT_EQ(external.tree.root_level(), in_memory.root_level());
+  // Total leaf volume agrees closely (contents may differ on ties).
+  EXPECT_NEAR(external.tree.TotalLeafVolume(), in_memory.TotalLeafVolume(),
+              0.05 * std::max(1e-12, in_memory.TotalLeafVolume()));
+}
+
+TEST_F(ExternalBuildTest, ChargesSubstantialIo) {
+  const ExternalBuildResult result = Build(600);
+  const size_t data_pages = file_->num_pages();
+  // Building externally costs multiple passes over the data.
+  EXPECT_GT(result.io.page_transfers, 2 * data_pages);
+  EXPECT_GT(result.io.page_seeks, 10u);
+}
+
+TEST_F(ExternalBuildTest, MoreMemoryMeansLessIo) {
+  const ExternalBuildResult small = Build(300);
+  const ExternalBuildResult large = Build(3000);
+  EXPECT_LT(large.io.page_transfers, small.io.page_transfers);
+}
+
+TEST_F(ExternalBuildTest, WholeDatasetInMemoryIsTwoPasses) {
+  const ExternalBuildResult result = Build(kN);
+  const size_t data_pages = io::DiskModel{}.PagesForPoints(kN, kDim);
+  // One read plus one write of the whole file, plus directory pages.
+  EXPECT_LE(result.io.page_transfers, 2 * data_pages + 200);
+  EXPECT_LE(result.io.page_seeks, 5u);
+}
+
+TEST_F(ExternalBuildTest, DuplicateHeavyDimensionStillTerminates) {
+  // All points share the value 0.5 in every dimension except one: external
+  // quickselect must fall back to midrange pivots and terminate.
+  common::Rng rng(3);
+  data::Dataset degenerate(4);
+  for (size_t i = 0; i < 2000; ++i) {
+    degenerate.Append(std::vector<float>{
+        static_cast<float>(rng.NextDouble()), 0.5f, 0.5f, 0.5f});
+  }
+  io::PagedFile file = io::PagedFile::FromDataset(degenerate, io::DiskModel{});
+  TreeTopology topo(2000, 20, 5);
+  ExternalBuildOptions options;
+  options.topology = &topo;
+  options.memory_points = 100;
+  const ExternalBuildResult result = BuildOnDisk(&file, options);
+  EXPECT_EQ(result.tree.num_leaves(), topo.NumLeaves());
+}
+
+TEST_F(ExternalBuildTest, AllPointsIdenticalTerminates) {
+  data::Dataset constant(3);
+  for (size_t i = 0; i < 500; ++i) {
+    constant.Append(std::vector<float>{1.f, 2.f, 3.f});
+  }
+  io::PagedFile file = io::PagedFile::FromDataset(constant, io::DiskModel{});
+  TreeTopology topo(500, 10, 4);
+  ExternalBuildOptions options;
+  options.topology = &topo;
+  options.memory_points = 50;
+  const ExternalBuildResult result = BuildOnDisk(&file, options);
+  EXPECT_EQ(result.tree.num_leaves(), topo.NumLeaves());
+  // Every leaf is the same degenerate point-box.
+  for (uint32_t id : result.tree.leaf_ids()) {
+    EXPECT_EQ(result.tree.node(id).box.Volume(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hdidx::index

@@ -1,0 +1,154 @@
+#include "index/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geometry/distance.h"
+#include "gtest/gtest.h"
+#include "index/bulk_loader.h"
+#include "test_util.h"
+
+namespace hdidx::index {
+namespace {
+
+TEST(KnnHeapTest, TracksKthSmallest) {
+  KnnHeap heap(3);
+  EXPECT_FALSE(heap.full());
+  EXPECT_TRUE(std::isinf(heap.KthSquared()));
+  for (double d : {9.0, 1.0, 4.0}) heap.Push(d);
+  EXPECT_TRUE(heap.full());
+  EXPECT_DOUBLE_EQ(heap.KthSquared(), 9.0);
+  heap.Push(2.0);  // evicts 9
+  EXPECT_DOUBLE_EQ(heap.KthSquared(), 4.0);
+  heap.Push(100.0);  // ignored
+  EXPECT_DOUBLE_EQ(heap.KthSquared(), 4.0);
+  EXPECT_DOUBLE_EQ(heap.Kth(), 2.0);
+}
+
+TEST(ExactKthDistanceTest, SimpleLine) {
+  data::Dataset d(1);
+  for (float x : {0.f, 1.f, 2.f, 3.f, 10.f}) {
+    d.Append(std::vector<float>{x});
+  }
+  const std::vector<float> q = {0.f};
+  // Excluding the query point itself (distance 0).
+  EXPECT_DOUBLE_EQ(ExactKthDistance(d, q, 1, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactKthDistance(d, q, 3, 0.0), 3.0);
+  // Including it.
+  EXPECT_DOUBLE_EQ(ExactKthDistance(d, q, 1, -1.0), 0.0);
+}
+
+TEST(ExactKnnTest, ReturnsAscendingNeighbors) {
+  data::Dataset d(1);
+  for (float x : {5.f, 1.f, 3.f, 2.f, 4.f}) {
+    d.Append(std::vector<float>{x});
+  }
+  const auto nn = ExactKnn(d, std::vector<float>{0.f}, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0], 1u);  // x=1
+  EXPECT_EQ(nn[1], 3u);  // x=2
+  EXPECT_EQ(nn[2], 2u);  // x=3
+}
+
+TEST(ExactKnnTest, KLargerThanDataset) {
+  data::Dataset d(1);
+  d.Append(std::vector<float>{1.f});
+  d.Append(std::vector<float>{2.f});
+  const auto nn = ExactKnn(d, std::vector<float>{0.f}, 10);
+  EXPECT_EQ(nn.size(), 2u);
+}
+
+class TreeKnnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = hdidx::testing::SmallClustered(3000, 6, 42);
+    topo_ = std::make_unique<TreeTopology>(data_.size(), 20, 6);
+    BulkLoadOptions options;
+    options.topology = topo_.get();
+    tree_ = std::make_unique<RTree>(BulkLoadInMemory(data_, options));
+  }
+
+  data::Dataset data_{1};
+  std::unique_ptr<TreeTopology> topo_;
+  std::unique_ptr<RTree> tree_;
+};
+
+TEST_F(TreeKnnTest, MatchesExactScan) {
+  common::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t row = rng.NextBounded(data_.size());
+    const auto query = data_.row(row);
+    const auto exact = ExactKnn(data_, query, 5);
+    const auto result = TreeKnnSearch(*tree_, data_, query, 5);
+    ASSERT_EQ(result.neighbors.size(), 5u);
+    // Distances must match exactly (neighbor identity can differ on ties).
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_DOUBLE_EQ(
+          geometry::SquaredL2(data_.row(result.neighbors[i]), query),
+          geometry::SquaredL2(data_.row(exact[i]), query));
+    }
+  }
+}
+
+TEST_F(TreeKnnTest, AccessesMatchSphereCounting) {
+  // The pages an optimal best-first search reads are exactly those whose
+  // MBR intersects the final k-NN sphere — the equivalence both the
+  // paper's measurement and our predictors rely on.
+  common::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t row = rng.NextBounded(data_.size());
+    const auto query = data_.row(row);
+    const auto result = TreeKnnSearch(*tree_, data_, query, 8);
+    const auto sphere =
+        tree_->CountSphereAccesses(query, result.kth_distance);
+    EXPECT_EQ(result.accesses.leaf_accesses, sphere.leaf_accesses)
+        << "trial " << trial;
+  }
+}
+
+TEST_F(TreeKnnTest, KthDistanceMatchesExact) {
+  const auto query = data_.row(7);
+  const auto result = TreeKnnSearch(*tree_, data_, query, 4);
+  // Exact 4th distance including the query point itself (it is in the
+  // dataset, distance 0).
+  const double exact = ExactKthDistance(data_, query, 4, -1.0);
+  EXPECT_NEAR(result.kth_distance, exact, 1e-9);
+}
+
+TEST_F(TreeKnnTest, CountSphereLeafAccessesBatch) {
+  common::Rng rng(3);
+  data::Dataset centers(data_.dim());
+  std::vector<double> radii;
+  for (int i = 0; i < 5; ++i) {
+    centers.Append(data_.row(rng.NextBounded(data_.size())));
+    radii.push_back(0.05 * (i + 1));
+  }
+  io::IoStats io;
+  const auto counts =
+      CountSphereLeafAccesses(*tree_, centers, radii, &io);
+  ASSERT_EQ(counts.size(), 5u);
+  // I/O: every page touched (leaf + dir) is one random access.
+  double total_leaves = 0;
+  for (double c : counts) total_leaves += c;
+  EXPECT_GE(static_cast<double>(io.page_transfers), total_leaves);
+  EXPECT_EQ(io.page_seeks, io.page_transfers);
+}
+
+TEST_F(TreeKnnTest, GrowingRadiusIsMonotone) {
+  const auto query = data_.row(100);
+  size_t prev = 0;
+  for (double r : {0.01, 0.05, 0.1, 0.5, 2.0}) {
+    const auto count = tree_->CountSphereAccesses(query, r);
+    EXPECT_GE(count.leaf_accesses, prev);
+    prev = count.leaf_accesses;
+  }
+  // A huge radius reaches every leaf.
+  const auto all = tree_->CountSphereAccesses(query, 1e6);
+  EXPECT_EQ(all.leaf_accesses, tree_->num_leaves());
+}
+
+}  // namespace
+}  // namespace hdidx::index

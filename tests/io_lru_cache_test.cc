@@ -1,0 +1,77 @@
+#include "io/lru_cache.h"
+
+#include "gtest/gtest.h"
+
+namespace hdidx::io {
+namespace {
+
+TEST(LruCacheTest, ColdAccessesMiss) {
+  LruCache cache(4);
+  EXPECT_FALSE(cache.Access(1));
+  EXPECT_FALSE(cache.Access(2));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.stats().page_seeks, 2u);
+  EXPECT_EQ(cache.stats().page_transfers, 2u);
+}
+
+TEST(LruCacheTest, RepeatAccessHits) {
+  LruCache cache(4);
+  cache.Access(7);
+  EXPECT_TRUE(cache.Access(7));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.stats().page_seeks, 1u);  // only the miss charged
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(1);  // 1 is now most recent
+  cache.Access(3);  // evicts 2
+  EXPECT_TRUE(cache.Access(1));
+  EXPECT_TRUE(cache.Access(3));
+  EXPECT_FALSE(cache.Access(2));  // was evicted
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverHits) {
+  LruCache cache(0);
+  cache.Access(5);
+  EXPECT_FALSE(cache.Access(5));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, SizeBoundedByCapacity) {
+  LruCache cache(3);
+  for (uint64_t p = 0; p < 100; ++p) cache.Access(p);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.misses(), 100u);
+}
+
+TEST(LruCacheTest, HitRateAndClear) {
+  LruCache cache(8);
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t p = 0; p < 8; ++p) cache.Access(p);
+  }
+  // 8 cold misses, 24 hits.
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 24.0 / 32.0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.0);
+}
+
+TEST(LruCacheTest, ScanPatternThrashesSmallCache) {
+  // Classic LRU pathology: a cyclic scan one page larger than the cache
+  // never hits.
+  LruCache cache(4);
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t p = 0; p < 5; ++p) cache.Access(p);
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace hdidx::io

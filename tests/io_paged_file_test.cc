@@ -1,0 +1,179 @@
+#include "io/paged_file.h"
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "io/disk_model.h"
+
+namespace hdidx::io {
+namespace {
+
+TEST(DiskModelTest, ReferenceConstantsMatchPaper) {
+  const DiskModel disk;
+  EXPECT_EQ(disk.page_bytes, 8192u);
+  EXPECT_DOUBLE_EQ(disk.seek_time_s, 0.010);
+  EXPECT_DOUBLE_EQ(disk.transfer_time_s(), 0.0004);
+  // 10 seeks + 10 transfers = 104 ms.
+  EXPECT_NEAR(disk.Seconds(10, 10), 0.104, 1e-12);
+}
+
+TEST(DiskModelTest, TransferTimeScalesWithPageSize) {
+  DiskModel disk;
+  disk.page_bytes = 65536;  // 8x reference
+  EXPECT_NEAR(disk.transfer_time_s(), 0.0032, 1e-12);
+}
+
+TEST(DiskModelTest, PointsPerPage) {
+  const DiskModel disk;
+  // 60-d floats: 240 bytes/point -> 34 points in 8 KB.
+  EXPECT_EQ(disk.PointsPerPage(60), 34u);
+  EXPECT_EQ(disk.PagesForPoints(100, 60), 3u);
+  EXPECT_EQ(disk.PagesForPoints(0, 60), 0u);
+  // Giant points still get one per page.
+  EXPECT_EQ(disk.PointsPerPage(10000), 1u);
+}
+
+TEST(IoStatsTest, ArithmeticAndCost) {
+  IoStats a{10, 100};
+  IoStats b{1, 2};
+  const IoStats sum = a + b;
+  EXPECT_EQ(sum.page_seeks, 11u);
+  EXPECT_EQ(sum.page_transfers, 102u);
+  const DiskModel disk;
+  EXPECT_NEAR(sum.CostSeconds(disk), 11 * 0.010 + 102 * 0.0004, 1e-12);
+}
+
+class PagedFileTest : public ::testing::Test {
+ protected:
+  // 2-d points, 8 KB pages: 1024 points per page.
+  DiskModel disk_;
+};
+
+TEST_F(PagedFileTest, FromDatasetChargesNothing) {
+  common::Rng rng(1);
+  const auto data = data::GenerateUniform(3000, 2, &rng);
+  PagedFile file = PagedFile::FromDataset(data, disk_);
+  EXPECT_EQ(file.size(), 3000u);
+  EXPECT_EQ(file.stats().page_transfers, 0u);
+  EXPECT_EQ(file.points_per_page(), 1024u);
+  EXPECT_EQ(file.num_pages(), 3u);
+}
+
+TEST_F(PagedFileTest, SequentialScanIsOneSeek) {
+  common::Rng rng(2);
+  const auto data = data::GenerateUniform(4096, 2, &rng);
+  PagedFile file = PagedFile::FromDataset(data, disk_);
+  const auto all = file.ReadAll();
+  EXPECT_TRUE(all == data);
+  EXPECT_EQ(file.stats().page_seeks, 1u);
+  EXPECT_EQ(file.stats().page_transfers, 4u);
+}
+
+TEST_F(PagedFileTest, AdjacentReadsDoNotSeek) {
+  common::Rng rng(3);
+  const auto data = data::GenerateUniform(4096, 2, &rng);
+  PagedFile file = PagedFile::FromDataset(data, disk_);
+  std::vector<float> buf(1024 * 2);
+  file.Read(0, 1024, buf.data());     // page 0: seek
+  file.Read(1024, 1024, buf.data());  // page 1: adjacent
+  file.Read(2048, 1024, buf.data());  // page 2: adjacent
+  EXPECT_EQ(file.stats().page_seeks, 1u);
+  EXPECT_EQ(file.stats().page_transfers, 3u);
+}
+
+TEST_F(PagedFileTest, BackwardReadSeeks) {
+  common::Rng rng(4);
+  const auto data = data::GenerateUniform(4096, 2, &rng);
+  PagedFile file = PagedFile::FromDataset(data, disk_);
+  std::vector<float> buf(1024 * 2);
+  file.Read(2048, 1024, buf.data());
+  file.Read(0, 1024, buf.data());
+  EXPECT_EQ(file.stats().page_seeks, 2u);
+}
+
+TEST_F(PagedFileTest, RangeSpanningPagesCountsAllTransfers) {
+  common::Rng rng(5);
+  const auto data = data::GenerateUniform(4096, 2, &rng);
+  PagedFile file = PagedFile::FromDataset(data, disk_);
+  std::vector<float> buf(2048 * 2);
+  // Points 512..2559 overlap pages 0,1,2.
+  file.Read(512, 2048, buf.data());
+  EXPECT_EQ(file.stats().page_transfers, 3u);
+  EXPECT_EQ(file.stats().page_seeks, 1u);
+}
+
+TEST_F(PagedFileTest, WriteReadRoundTrip) {
+  PagedFile file(2, disk_);
+  file.Resize(100);
+  const std::vector<float> point = {1.5f, -2.5f};
+  file.Write(42, 1, point.data());
+  std::vector<float> out(2);
+  file.Read(42, 1, out.data());
+  EXPECT_EQ(out, point);
+}
+
+TEST_F(PagedFileTest, WriteThenAdjacentWriteNoExtraSeek) {
+  PagedFile file(2, disk_);
+  file.Resize(4096);
+  std::vector<float> buf(1024 * 2, 1.0f);
+  file.Write(0, 1024, buf.data());
+  file.Write(1024, 1024, buf.data());
+  EXPECT_EQ(file.stats().page_seeks, 1u);
+  EXPECT_EQ(file.stats().page_transfers, 2u);
+}
+
+TEST_F(PagedFileTest, InvalidateHeadForcesSeek) {
+  common::Rng rng(6);
+  const auto data = data::GenerateUniform(2048, 2, &rng);
+  PagedFile file = PagedFile::FromDataset(data, disk_);
+  std::vector<float> buf(1024 * 2);
+  file.Read(0, 1024, buf.data());
+  file.InvalidateHead();
+  file.Read(1024, 1024, buf.data());  // would have been adjacent
+  EXPECT_EQ(file.stats().page_seeks, 2u);
+}
+
+TEST_F(PagedFileTest, ChargeSeekCounts) {
+  PagedFile file(2, disk_);
+  file.Resize(10);
+  file.ChargeSeek();
+  file.ChargeSeek();
+  EXPECT_EQ(file.stats().page_seeks, 2u);
+  EXPECT_EQ(file.stats().page_transfers, 0u);
+}
+
+TEST_F(PagedFileTest, ResetStatsClearsCountersAndHead) {
+  common::Rng rng(7);
+  const auto data = data::GenerateUniform(2048, 2, &rng);
+  PagedFile file = PagedFile::FromDataset(data, disk_);
+  std::vector<float> buf(1024 * 2);
+  file.Read(0, 1024, buf.data());
+  file.ResetStats();
+  EXPECT_EQ(file.stats().page_seeks, 0u);
+  file.Read(1024, 1024, buf.data());
+  EXPECT_EQ(file.stats().page_seeks, 1u);  // head was reset: seek again
+}
+
+TEST_F(PagedFileTest, ChargeAccessMatchesReadCharges) {
+  common::Rng rng(8);
+  const auto data = data::GenerateUniform(4096, 2, &rng);
+  PagedFile a = PagedFile::FromDataset(data, disk_);
+  PagedFile b = PagedFile::FromDataset(data, disk_);
+  std::vector<float> buf(2000 * 2);
+  a.Read(100, 2000, buf.data());
+  b.ChargeAccess(100, 2000);
+  EXPECT_TRUE(a.stats() == b.stats());
+}
+
+TEST_F(PagedFileTest, HighDimensionalPointsPerPage) {
+  DiskModel disk;
+  PagedFile file(617, disk);  // 2468 bytes per point -> 3 per page
+  EXPECT_EQ(file.points_per_page(), 3u);
+  file.Resize(10);
+  EXPECT_EQ(file.num_pages(), 4u);
+}
+
+}  // namespace
+}  // namespace hdidx::io

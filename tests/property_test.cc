@@ -1,0 +1,191 @@
+/// Parameterized property sweeps: invariants that must hold across a grid
+/// of dataset shapes, capacities, and sampling fractions.
+
+#include <cmath>
+#include <tuple>
+
+#include "common/random.h"
+#include "core/compensation.h"
+#include "data/generators.h"
+#include "geometry/distance.h"
+#include "gtest/gtest.h"
+#include "index/bulk_loader.h"
+#include "index/knn.h"
+#include "test_util.h"
+
+namespace hdidx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bulk-loader invariants across (n, dim, data_capacity, dir_capacity).
+// ---------------------------------------------------------------------------
+
+using TreeParams = std::tuple<size_t, size_t, size_t, size_t>;
+
+class BulkLoadProperty : public ::testing::TestWithParam<TreeParams> {};
+
+TEST_P(BulkLoadProperty, TreeInvariantsHold) {
+  const auto [n, dim, data_cap, dir_cap] = GetParam();
+  const auto data = testing::SmallClustered(n, dim, 1000 + n + dim);
+  const index::TreeTopology topo(n, data_cap, dir_cap);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  const index::RTree tree = index::BulkLoadInMemory(data, options);
+  testing::ExpectValidTree(tree, data, 1);
+  EXPECT_EQ(tree.num_leaves(), topo.NumLeaves());
+  for (uint32_t id : tree.leaf_ids()) {
+    EXPECT_LE(tree.node(id).count, data_cap);
+  }
+}
+
+TEST_P(BulkLoadProperty, KnnSearchMatchesScan) {
+  const auto [n, dim, data_cap, dir_cap] = GetParam();
+  const auto data = testing::SmallClustered(n, dim, 2000 + n + dim);
+  const index::TreeTopology topo(n, data_cap, dir_cap);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  const index::RTree tree = index::BulkLoadInMemory(data, options);
+  common::Rng rng(n + dim);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto query = data.row(rng.NextBounded(n));
+    const auto result = index::TreeKnnSearch(tree, data, query, 3);
+    const double exact = index::ExactKthDistance(data, query, 3, -1.0);
+    EXPECT_NEAR(result.kth_distance, exact, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, BulkLoadProperty,
+    ::testing::Values(TreeParams{100, 2, 5, 3}, TreeParams{500, 3, 10, 4},
+                      TreeParams{1000, 8, 20, 5}, TreeParams{2000, 16, 16, 8},
+                      TreeParams{3000, 4, 50, 12}, TreeParams{777, 5, 7, 2},
+                      TreeParams{64, 32, 8, 4}, TreeParams{4096, 6, 32, 16}));
+
+// ---------------------------------------------------------------------------
+// Compensation-factor properties across (capacity, zeta).
+// ---------------------------------------------------------------------------
+
+using CompParams = std::tuple<double, double>;
+
+class CompensationProperty : public ::testing::TestWithParam<CompParams> {};
+
+TEST_P(CompensationProperty, GrowthAtLeastOneAndFinite) {
+  const auto [capacity, zeta] = GetParam();
+  const double g = core::CompensationGrowthPerDim(capacity, zeta);
+  EXPECT_GE(g, 1.0);
+  EXPECT_LT(g, 5.0);
+  EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST_P(CompensationProperty, DeltaConsistentWithGrowth) {
+  const auto [capacity, zeta] = GetParam();
+  for (size_t dim : {1u, 8u, 64u, 617u}) {
+    const double g = core::CompensationGrowthPerDim(capacity, zeta);
+    const double log_delta = dim * std::log(g);
+    if (log_delta > 700.0) continue;  // g^dim overflows a double
+    const double delta = core::CompensationDelta(capacity, zeta, dim);
+    EXPECT_NEAR(std::log(delta), log_delta, 1e-9 * dim);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacityZetaGrid, CompensationProperty,
+    ::testing::Combine(::testing::Values(5.0, 33.0, 100.0, 1000.0),
+                       ::testing::Values(0.01, 0.1, 0.3, 0.6, 0.95)));
+
+// ---------------------------------------------------------------------------
+// MINDIST properties against sampled points: MINDIST is a lower bound on
+// the distance to any point in the box, and 0 iff inside.
+// ---------------------------------------------------------------------------
+
+class MinDistProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MinDistProperty, LowerBoundsDistanceToContainedPoints) {
+  const size_t dim = GetParam();
+  common::Rng rng(dim * 31);
+  const auto points = data::GenerateUniform(200, dim, &rng);
+  const auto box = points.Bounds();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> q(dim);
+    for (auto& v : q) {
+      v = static_cast<float>(rng.NextUniform(-2.0, 3.0));
+    }
+    const double min_dist = geometry::MinDist(q, box);
+    for (size_t i = 0; i < points.size(); i += 17) {
+      EXPECT_LE(min_dist, geometry::L2(q, points.row(i)) + 1e-9);
+    }
+    EXPECT_EQ(min_dist == 0.0, box.Contains(q));
+    EXPECT_LE(min_dist, geometry::MaxDist(q, box) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MinDistProperty,
+                         ::testing::Values(1, 2, 3, 8, 32, 128));
+
+// ---------------------------------------------------------------------------
+// Topology properties across (n, caps): counts are consistent ceilings.
+// ---------------------------------------------------------------------------
+
+using TopoParams = std::tuple<size_t, size_t, size_t>;
+
+class TopologyProperty : public ::testing::TestWithParam<TopoParams> {};
+
+TEST_P(TopologyProperty, CeilingConsistency) {
+  const auto [n, data_cap, dir_cap] = GetParam();
+  const index::TreeTopology topo(n, data_cap, dir_cap);
+  EXPECT_GE(topo.SubtreeCapacity(topo.height()), n);
+  if (topo.height() > 1) {
+    EXPECT_LT(topo.SubtreeCapacity(topo.height() - 1), n);
+  }
+  EXPECT_EQ(topo.NodesAtLevel(topo.height()), 1u);
+  for (size_t level = 1; level <= topo.height(); ++level) {
+    const size_t nodes = topo.NodesAtLevel(level);
+    EXPECT_GE(nodes * topo.SubtreeCapacity(level), n);
+    EXPECT_LT((nodes - 1) * topo.SubtreeCapacity(level), n);
+    EXPECT_GT(topo.PointsPerSubtree(level), 0.0);
+    EXPECT_LE(topo.PointsPerSubtree(level),
+              static_cast<double>(topo.SubtreeCapacity(level)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeGrid, TopologyProperty,
+    ::testing::Values(TopoParams{1, 10, 4}, TopoParams{10, 10, 4},
+                      TopoParams{11, 10, 4}, TopoParams{100000, 33, 16},
+                      TopoParams{275465, 33, 16}, TopoParams{999983, 7, 2},
+                      TopoParams{42, 1, 2}, TopoParams{65536, 16, 16}));
+
+// ---------------------------------------------------------------------------
+// Sphere-counting consistency: leaf accesses counted through the tree match
+// a brute-force scan over leaf boxes, for random radii.
+// ---------------------------------------------------------------------------
+
+class SphereCountProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SphereCountProperty, TraversalMatchesBruteForce) {
+  const size_t dim = GetParam();
+  const auto data = testing::SmallClustered(1500, dim, dim * 7);
+  const index::TreeTopology topo(data.size(), 25, 5);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  const index::RTree tree = index::BulkLoadInMemory(data, options);
+
+  common::Rng rng(dim * 13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto center = data.row(rng.NextBounded(data.size()));
+    const double radius = rng.NextUniform(0.0, 0.5);
+    size_t brute = 0;
+    for (uint32_t id : tree.leaf_ids()) {
+      if (geometry::SphereIntersectsBox(center, radius, tree.node(id).box)) {
+        ++brute;
+      }
+    }
+    EXPECT_EQ(tree.CountSphereAccesses(center, radius).leaf_accesses, brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SphereCountProperty,
+                         ::testing::Values(2, 4, 8, 24));
+
+}  // namespace
+}  // namespace hdidx

@@ -1,0 +1,58 @@
+#include "test_util.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hdidx::testing {
+
+data::Dataset SmallClustered(size_t n, size_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  data::ClusteredConfig config;
+  config.num_points = n;
+  config.dim = dim;
+  config.num_clusters = 8;
+  config.intrinsic_dim = std::max<double>(2.0, static_cast<double>(dim) / 4.0);
+  return data::GenerateClustered(config, &rng);
+}
+
+void ExpectValidTree(const index::RTree& tree, const data::Dataset& data,
+                     size_t expected_leaf_level) {
+  ASSERT_FALSE(tree.empty());
+  std::vector<int> seen(data.size(), 0);
+  size_t total_leaf_points = 0;
+
+  for (uint32_t id = 0; id < tree.num_nodes(); ++id) {
+    const index::RTreeNode& node = tree.node(id);
+    if (node.is_leaf()) {
+      EXPECT_EQ(node.level, expected_leaf_level) << "leaf " << id;
+      EXPECT_GT(node.count, 0u) << "empty leaf " << id;
+      total_leaf_points += node.count;
+      for (uint32_t pos = node.start; pos < node.start + node.count; ++pos) {
+        const uint32_t row = tree.OrderedIndex(pos);
+        ASSERT_LT(row, data.size());
+        ++seen[row];
+        EXPECT_TRUE(node.box.Contains(data.row(row)))
+            << "leaf " << id << " does not contain its point " << row;
+      }
+    } else {
+      for (uint32_t child : node.children) {
+        ASSERT_LT(child, tree.num_nodes());
+        const index::RTreeNode& child_node = tree.node(child);
+        EXPECT_EQ(child_node.level + 1, node.level)
+            << "level mismatch under node " << id;
+        EXPECT_TRUE(
+            geometry::BoundingBox::Union(node.box, child_node.box) == node.box)
+            << "directory box " << id << " does not cover child " << child;
+      }
+    }
+  }
+
+  EXPECT_EQ(total_leaf_points, data.size());
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }))
+      << "some point is missing or duplicated across leaves";
+}
+
+}  // namespace hdidx::testing

@@ -1,0 +1,29 @@
+#ifndef HDIDX_TESTS_TEST_UTIL_H_
+#define HDIDX_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "index/rtree.h"
+
+namespace hdidx::testing {
+
+/// Small clustered dataset shared by many tests: deterministic for a given
+/// seed, sized for sub-second index builds.
+data::Dataset SmallClustered(size_t n, size_t dim, uint64_t seed);
+
+/// Structural invariants every bulk-loaded tree must satisfy:
+///  * every point appears in exactly one leaf range;
+///  * every leaf MBR contains its points;
+///  * every directory MBR contains its children's MBRs;
+///  * child levels are exactly one below their parent's;
+///  * leaf ranges tile [0, n) without gaps or overlaps.
+/// Reports failures through GoogleTest expectations.
+void ExpectValidTree(const index::RTree& tree, const data::Dataset& data,
+                     size_t expected_leaf_level);
+
+}  // namespace hdidx::testing
+
+#endif  // HDIDX_TESTS_TEST_UTIL_H_

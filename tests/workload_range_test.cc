@@ -1,0 +1,142 @@
+#include "workload/range_workload.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/mini_index.h"
+#include "core/resampled.h"
+#include "core/hupper.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "index/bulk_loader.h"
+#include "index/knn.h"
+#include "test_util.h"
+
+namespace hdidx::workload {
+namespace {
+
+TEST(RangeWorkloadTest, BoxesCenteredOnDataPoints) {
+  const auto data = hdidx::testing::SmallClustered(500, 3, 1);
+  common::Rng rng(2);
+  const RangeWorkload w =
+      RangeWorkload::Create(data, 10, {0.1f, 0.2f, 0.3f}, &rng);
+  ASSERT_EQ(w.size(), 10u);
+  for (size_t i = 0; i < w.size(); ++i) {
+    const auto center = data.row(w.query_rows()[i]);
+    EXPECT_NEAR(w.box(i).Center(0), center[0], 1e-5);
+    EXPECT_FLOAT_EQ(w.box(i).Extent(0), 0.2f);
+    EXPECT_FLOAT_EQ(w.box(i).Extent(2), 0.6f);
+    EXPECT_TRUE(w.box(i).Contains(center));
+  }
+}
+
+TEST(RangeWorkloadTest, IntersectsMatchesBoxGeometry) {
+  data::Dataset data(2);
+  data.Append(std::vector<float>{0.5f, 0.5f});
+  common::Rng rng(3);
+  const RangeWorkload w = RangeWorkload::Create(data, 1, {0.1f, 0.1f}, &rng);
+  EXPECT_TRUE(w.Intersects(0, geometry::BoundingBox({0, 0}, {0.45f, 0.45f})));
+  EXPECT_FALSE(w.Intersects(0, geometry::BoundingBox({0, 0}, {0.3f, 0.3f})));
+}
+
+TEST(RangeWorkloadTest, CardinalityTargetedBoxesContainTarget) {
+  const auto data = hdidx::testing::SmallClustered(2000, 4, 4);
+  common::Rng rng(5);
+  const size_t target = 50;
+  const RangeWorkload w =
+      RangeWorkload::CreateWithCardinality(data, 8, target, &rng);
+  for (size_t i = 0; i < w.size(); ++i) {
+    size_t inside = 0;
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (w.box(i).Contains(data.row(j))) ++inside;
+    }
+    // At least the target (ties can add a few more).
+    EXPECT_GE(inside, target);
+    EXPECT_LE(inside, target + 20);
+  }
+}
+
+TEST(RangeWorkloadTest, DenserRegionsGetMoreQueries) {
+  common::Rng gen(6);
+  data::Dataset data(1);
+  for (int i = 0; i < 900; ++i) data.Append(std::vector<float>{0.0f});
+  for (int i = 0; i < 100; ++i) data.Append(std::vector<float>{10.0f});
+  common::Rng rng(7);
+  const RangeWorkload w = RangeWorkload::Create(data, 300, {0.5f}, &rng);
+  size_t near_zero = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w.box(i).Center(0) < 5.0f) ++near_zero;
+  }
+  EXPECT_NEAR(static_cast<double>(near_zero) / 300.0, 0.9, 0.07);
+}
+
+TEST(RangePredictionTest, MiniIndexPredictsRangeQueries) {
+  // The paper's Section 1 claim: the technique applies to range queries.
+  // Prediction against the QueryRegions interface must track measurement.
+  const auto data = hdidx::testing::SmallClustered(15000, 6, 8);
+  const index::TreeTopology topo(data.size(), 60, 8);
+  common::Rng rng(9);
+  const RangeWorkload w =
+      RangeWorkload::CreateWithCardinality(data, 30, 40, &rng);
+
+  index::BulkLoadOptions full;
+  full.topology = &topo;
+  const index::RTree tree = index::BulkLoadInMemory(data, full);
+  const std::vector<double> measured =
+      core::MeasureLeafAccesses(tree, w, nullptr);
+  const double measured_avg = common::Mean(measured);
+  ASSERT_GT(measured_avg, 0.0);
+
+  core::MiniIndexParams params;
+  params.sampling_fraction = 0.25;
+  const core::PredictionResult result =
+      core::PredictWithMiniIndex(data, topo, w, params);
+  const double rel =
+      common::RelativeError(result.avg_leaf_accesses, measured_avg);
+  EXPECT_LT(std::abs(rel), 0.3) << "relative error " << rel;
+}
+
+TEST(RangePredictionTest, ResampledPredictsRangeQueries) {
+  const auto data = hdidx::testing::SmallClustered(20000, 6, 10);
+  const index::TreeTopology topo(data.size(), 40, 8);
+  ASSERT_GE(topo.height(), 3u);
+  common::Rng rng(11);
+  const RangeWorkload w =
+      RangeWorkload::CreateWithCardinality(data, 25, 60, &rng);
+
+  index::BulkLoadOptions full;
+  full.topology = &topo;
+  const index::RTree tree = index::BulkLoadInMemory(data, full);
+  const double measured_avg =
+      common::Mean(core::MeasureLeafAccesses(tree, w, nullptr));
+
+  io::PagedFile file = io::PagedFile::FromDataset(data, io::DiskModel{});
+  core::ResampledParams params;
+  params.memory_points = 3000;
+  params.h_upper = core::ChooseHupper(topo, params.memory_points);
+  const core::PredictionResult result =
+      core::PredictWithResampledTree(&file, topo, w, params);
+  const double rel =
+      common::RelativeError(result.avg_leaf_accesses, measured_avg);
+  EXPECT_LT(std::abs(rel), 0.3) << "relative error " << rel;
+}
+
+TEST(RangePredictionTest, MeasureLeafAccessesMatchesSphereCounting) {
+  // For a sphere workload, the generic region measurement must equal the
+  // sphere-specific counter.
+  const auto data = hdidx::testing::SmallClustered(3000, 5, 12);
+  const index::TreeTopology topo(data.size(), 25, 6);
+  index::BulkLoadOptions full;
+  full.topology = &topo;
+  const index::RTree tree = index::BulkLoadInMemory(data, full);
+  common::Rng rng(13);
+  const QueryWorkload w = QueryWorkload::Create(data, 15, 5, &rng);
+  const auto generic = core::MeasureLeafAccesses(tree, w, nullptr);
+  const auto sphere = index::CountSphereLeafAccesses(
+      tree, w.queries(), w.radii(), nullptr);
+  EXPECT_EQ(generic, sphere);
+}
+
+}  // namespace
+}  // namespace hdidx::workload

@@ -1,0 +1,128 @@
+#include "workload/query_workload.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geometry/distance.h"
+#include "gtest/gtest.h"
+#include "index/knn.h"
+#include "test_util.h"
+
+namespace hdidx::workload {
+namespace {
+
+TEST(QueryWorkloadTest, QueriesComeFromData) {
+  const auto data = hdidx::testing::SmallClustered(500, 4, 1);
+  common::Rng rng(2);
+  const QueryWorkload w = QueryWorkload::Create(data, 20, 3, &rng);
+  ASSERT_EQ(w.num_queries(), 20u);
+  EXPECT_EQ(w.k(), 3u);
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    const size_t row = w.query_rows()[i];
+    EXPECT_DOUBLE_EQ(
+        geometry::SquaredL2(w.queries().row(i), data.row(row)), 0.0);
+  }
+}
+
+TEST(QueryWorkloadTest, RadiiAreExactKnnDistances) {
+  const auto data = hdidx::testing::SmallClustered(500, 4, 3);
+  common::Rng rng(4);
+  const QueryWorkload w = QueryWorkload::Create(data, 10, 5, &rng);
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    const double expected =
+        index::ExactKthDistance(data, w.queries().row(i), 5, 0.0);
+    EXPECT_DOUBLE_EQ(w.radius(i), expected);
+    EXPECT_GT(w.radius(i), 0.0);
+  }
+}
+
+TEST(QueryWorkloadTest, LargerKLargerRadius) {
+  const auto data = hdidx::testing::SmallClustered(500, 4, 5);
+  common::Rng rng_a(6), rng_b(6);
+  const QueryWorkload w1 = QueryWorkload::Create(data, 15, 1, &rng_a);
+  const QueryWorkload w2 = QueryWorkload::Create(data, 15, 10, &rng_b);
+  for (size_t i = 0; i < 15; ++i) {
+    EXPECT_LE(w1.radius(i), w2.radius(i));
+  }
+}
+
+TEST(ScanForWorkloadTest, MatchesUnaccountedCreate) {
+  // The accounted scan must produce the same radii the direct computation
+  // does for the same query set.
+  const auto data = hdidx::testing::SmallClustered(800, 5, 7);
+  io::PagedFile file = io::PagedFile::FromDataset(data, io::DiskModel{});
+  common::Rng rng(8);
+  const ScanResult scan = ScanForWorkloadAndSample(&file, 12, 4, 100, &rng);
+  ASSERT_EQ(scan.workload.num_queries(), 12u);
+  for (size_t i = 0; i < 12; ++i) {
+    const double expected = index::ExactKthDistance(
+        data, scan.workload.queries().row(i), 4, 0.0);
+    EXPECT_NEAR(scan.workload.radius(i), expected, 1e-9);
+  }
+}
+
+TEST(ScanForWorkloadTest, SampleSizeAndMembership) {
+  const auto data = hdidx::testing::SmallClustered(600, 3, 9);
+  io::PagedFile file = io::PagedFile::FromDataset(data, io::DiskModel{});
+  common::Rng rng(10);
+  const ScanResult scan = ScanForWorkloadAndSample(&file, 5, 2, 50, &rng);
+  ASSERT_EQ(scan.sample.size(), 50u);
+  EXPECT_NEAR(scan.sampling_ratio, 50.0 / 600.0, 1e-12);
+  // Every sample point exists in the dataset.
+  for (size_t i = 0; i < scan.sample.size(); ++i) {
+    bool found = false;
+    for (size_t j = 0; j < data.size() && !found; ++j) {
+      found = geometry::SquaredL2(scan.sample.row(i), data.row(j)) == 0.0;
+    }
+    EXPECT_TRUE(found) << "sample row " << i;
+  }
+}
+
+TEST(ScanForWorkloadTest, SampleLargerThanDataTruncates) {
+  const auto data = hdidx::testing::SmallClustered(40, 3, 11);
+  io::PagedFile file = io::PagedFile::FromDataset(data, io::DiskModel{});
+  common::Rng rng(12);
+  const ScanResult scan = ScanForWorkloadAndSample(&file, 3, 2, 1000, &rng);
+  EXPECT_EQ(scan.sample.size(), 40u);
+  EXPECT_DOUBLE_EQ(scan.sampling_ratio, 1.0);
+}
+
+TEST(ScanForWorkloadTest, IoChargesMatchEquations) {
+  // Equation 2 + cost_ScanDataset: q random reads then one sequential scan.
+  const auto data = hdidx::testing::SmallClustered(4096, 2, 13);
+  io::PagedFile file = io::PagedFile::FromDataset(data, io::DiskModel{});
+  common::Rng rng(14);
+  const size_t q = 7;
+  ScanForWorkloadAndSample(&file, q, 2, 100, &rng);
+  // q single-point reads cost at most q seeks + q transfers (adjacent hits
+  // can save a seek), plus the scan: 1 seek + ceil(N/B) transfers.
+  const size_t scan_pages = file.num_pages();
+  EXPECT_LE(file.stats().page_seeks, q + 1);
+  EXPECT_GE(file.stats().page_seeks, 2u);
+  EXPECT_EQ(file.stats().page_transfers, q + scan_pages);
+}
+
+TEST(QueryWorkloadTest, DensityBias) {
+  // Two clusters, 90/10 population: queries should land ~90/10.
+  common::Rng gen(15);
+  data::Dataset data(2);
+  for (int i = 0; i < 900; ++i) {
+    data.Append(std::vector<float>{
+        static_cast<float>(gen.NextGaussian()) * 0.01f, 0.0f});
+  }
+  for (int i = 0; i < 100; ++i) {
+    data.Append(std::vector<float>{
+        10.0f + static_cast<float>(gen.NextGaussian()) * 0.01f, 0.0f});
+  }
+  common::Rng rng(16);
+  const QueryWorkload w = QueryWorkload::Create(data, 200, 2, &rng);
+  size_t near_origin = 0;
+  for (size_t i = 0; i < w.num_queries(); ++i) {
+    if (w.queries().row(i)[0] < 5.0f) ++near_origin;
+  }
+  EXPECT_NEAR(static_cast<double>(near_origin) / 200.0, 0.9, 0.07);
+}
+
+}  // namespace
+}  // namespace hdidx::workload

@@ -1,0 +1,63 @@
+#ifndef HDIDX_TOOLS_FLAGS_H_
+#define HDIDX_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace hdidx::tools {
+
+/// Minimal --flag=value / --flag value parser for the command-line tools.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  uint64_t GetUint(const std::string& name, uint64_t fallback) const {
+    const auto it = values_.find(name);
+    return it != values_.end() ? std::strtoull(it->second.c_str(), nullptr, 10)
+                               : fallback;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it != values_.end() ? std::strtod(it->second.c_str(), nullptr)
+                               : fallback;
+  }
+
+  bool GetBool(const std::string& name) const {
+    const auto it = values_.find(name);
+    return it != values_.end() && it->second != "false" && it->second != "0";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hdidx::tools
+
+#endif  // HDIDX_TOOLS_FLAGS_H_

@@ -1,0 +1,73 @@
+// hdidx_gen: generate a dataset and write it in the library's binary format.
+//
+// Usage:
+//   hdidx_gen --out data.hdx --kind texture60 [--n 30000] [--seed 1]
+//   hdidx_gen --out data.hdx --kind uniform --n 100000 --dim 8
+//   hdidx_gen --out data.hdx --kind clustered --n 50000 --dim 32
+//             --clusters 24 --intrinsic 6
+//
+// Kinds: color64, texture48, texture60 (= landsat), isolet617, stock360
+// (surrogates of the paper's datasets, Table 1), uniform, clustered.
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+#include "flags.h"
+
+int main(int argc, char** argv) {
+  using namespace hdidx;
+  const tools::Flags flags(argc, argv);
+
+  const std::string out = flags.GetString("out", "");
+  const std::string kind = flags.GetString("kind", "texture60");
+  const size_t n = flags.GetUint("n", 0);
+  const uint64_t seed = flags.GetUint("seed", 1);
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "usage: hdidx_gen --out FILE --kind KIND [--n N] [--seed S]\n"
+                 "       kinds: color64 texture48 texture60 landsat "
+                 "isolet617 stock360 uniform clustered\n");
+    return 2;
+  }
+
+  data::Dataset dataset(1);
+  if (kind == "color64") {
+    dataset = data::Color64Surrogate(n, seed);
+  } else if (kind == "texture48") {
+    dataset = data::Texture48Surrogate(n, seed);
+  } else if (kind == "texture60" || kind == "landsat") {
+    dataset = data::Texture60Surrogate(n, seed);
+  } else if (kind == "isolet617") {
+    dataset = data::Isolet617Surrogate(n, seed);
+  } else if (kind == "stock360") {
+    dataset = data::Stock360Surrogate(n, seed);
+  } else if (kind == "uniform") {
+    common::Rng rng(seed);
+    dataset = data::GenerateUniform(n != 0 ? n : 100000,
+                                    flags.GetUint("dim", 8), &rng);
+  } else if (kind == "clustered") {
+    common::Rng rng(seed);
+    data::ClusteredConfig config;
+    config.num_points = n != 0 ? n : 100000;
+    config.dim = flags.GetUint("dim", 16);
+    config.num_clusters = flags.GetUint("clusters", 20);
+    config.intrinsic_dim = flags.GetDouble("intrinsic", 6.0);
+    config.noise_fraction = flags.GetDouble("noise", 0.02);
+    dataset = data::GenerateClustered(config, &rng);
+  } else {
+    std::fprintf(stderr, "unknown kind: %s\n", kind.c_str());
+    return 2;
+  }
+
+  std::string error;
+  if (!data::WriteDataset(dataset, out, &error)) {
+    std::fprintf(stderr, "write failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu points x %zu dims to %s\n", dataset.size(),
+              dataset.dim(), out.c_str());
+  return 0;
+}

@@ -1,0 +1,156 @@
+// hdidx_predict: predict (and optionally measure) the k-NN query cost of a
+// VAMSplit R*-tree over a dataset file, straight from the command line.
+//
+// Usage:
+//   hdidx_predict --data data.hdx [--method resampled|cutoff|mini]
+//                 [--memory 10000] [--h-upper N] [--queries 500] [--k 21]
+//                 [--page-bytes 8192] [--seed 1]
+//                 [--measure] [--confidence-runs 5]
+//
+// Prints the predicted average leaf page accesses per query, the
+// prediction's own simulated I/O cost, and — with --measure — the on-disk
+// ground truth and relative error (Table 3 style). --confidence-runs adds a
+// Student-t 95% interval across independent sample draws.
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/confidence.h"
+#include "core/cutoff.h"
+#include "core/hupper.h"
+#include "core/mini_index.h"
+#include "core/resampled.h"
+#include "data/csv.h"
+#include "data/dataset_io.h"
+#include "flags.h"
+#include "index/external_build.h"
+#include "index/knn.h"
+#include "index/topology.h"
+#include "io/paged_file.h"
+#include "workload/query_workload.h"
+
+int main(int argc, char** argv) {
+  using namespace hdidx;
+  const tools::Flags flags(argc, argv);
+
+  const std::string path = flags.GetString("data", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: hdidx_predict --data FILE [options]\n");
+    return 2;
+  }
+  std::string error;
+  // .csv files go through the text importer; anything else is the binary
+  // format written by hdidx_gen / WriteDataset.
+  std::optional<data::Dataset> loaded;
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".csv") {
+    data::CsvOptions csv;
+    csv.has_header = flags.GetBool("csv-header");
+    csv.skip_columns = flags.GetUint("csv-skip-columns", 0);
+    loaded = data::ReadCsv(path, csv, &error);
+  } else {
+    loaded = data::ReadDataset(path, &error);
+  }
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const data::Dataset& dataset = *loaded;
+
+  io::DiskModel disk;
+  disk.page_bytes = flags.GetUint("page-bytes", 8192);
+  const index::TreeTopology topology =
+      index::TreeTopology::FromDisk(dataset.size(), dataset.dim(), disk);
+  const std::string method = flags.GetString("method", "resampled");
+  const size_t memory = flags.GetUint("memory", 10000);
+  const size_t q = flags.GetUint("queries", 500);
+  const size_t k = flags.GetUint("k", 21);
+  const uint64_t seed = flags.GetUint("seed", 1);
+  const size_t h_upper =
+      flags.GetUint("h-upper", topology.height() >= 3
+                                   ? core::ChooseHupper(topology, memory)
+                                   : 2);
+
+  std::printf("dataset:  %zu points x %zu dims (%s)\n", dataset.size(),
+              dataset.dim(), path.c_str());
+  std::printf("index:    height %zu, %zu leaf pages, C_data=%zu, C_dir=%zu\n",
+              topology.height(), topology.NumLeaves(),
+              topology.data_capacity(), topology.dir_capacity());
+  std::printf("workload: %zu density-biased %zu-NN queries\n", q, k);
+
+  common::Rng rng(seed);
+  const workload::QueryWorkload workload =
+      workload::QueryWorkload::Create(dataset, q, k, &rng);
+
+  auto predict_once = [&](uint64_t prediction_seed) {
+    if (method == "mini") {
+      core::MiniIndexParams params;
+      params.sampling_fraction =
+          std::min(1.0, static_cast<double>(memory) /
+                            static_cast<double>(dataset.size()));
+      params.seed = prediction_seed;
+      return core::PredictWithMiniIndex(dataset, topology, workload, params);
+    }
+    io::PagedFile file = io::PagedFile::FromDataset(dataset, disk);
+    if (method == "cutoff") {
+      core::CutoffParams params;
+      params.memory_points = memory;
+      params.h_upper = h_upper;
+      params.seed = prediction_seed;
+      return core::PredictWithCutoffTree(&file, topology, workload, params);
+    }
+    core::ResampledParams params;
+    params.memory_points = memory;
+    params.h_upper = h_upper;
+    params.seed = prediction_seed;
+    return core::PredictWithResampledTree(&file, topology, workload, params);
+  };
+
+  const core::PredictionResult result = predict_once(seed + 1);
+  std::printf("\nmethod:   %s (M=%zu, h_upper=%zu, sigma_upper=%.4f, "
+              "sigma_lower=%.4f)\n",
+              method.c_str(), memory, result.h_upper, result.sigma_upper,
+              result.sigma_lower);
+  std::printf("predicted: %.1f leaf page accesses per query\n",
+              result.avg_leaf_accesses);
+  std::printf("prediction I/O: %llu seeks + %llu transfers = %.3f s\n",
+              static_cast<unsigned long long>(result.io.page_seeks),
+              static_cast<unsigned long long>(result.io.page_transfers),
+              result.io.CostSeconds(disk));
+
+  const size_t ci_runs = flags.GetUint("confidence-runs", 0);
+  if (ci_runs >= 2) {
+    const auto ci = core::EstimateWithConfidence(
+        [&](uint64_t s) { return predict_once(s).avg_leaf_accesses; },
+        ci_runs, seed + 100);
+    std::printf("95%% interval over %zu draws: %.1f +- %.1f  [%.1f, %.1f]\n",
+                ci.runs, ci.mean, ci.hi - ci.mean, ci.lo, ci.hi);
+  }
+
+  if (flags.GetBool("measure")) {
+    std::printf("\nbuilding the on-disk index for ground truth...\n");
+    io::PagedFile file = io::PagedFile::FromDataset(dataset, disk);
+    index::ExternalBuildOptions build;
+    build.topology = &topology;
+    build.memory_points = memory;
+    const index::ExternalBuildResult on_disk =
+        index::BuildOnDisk(&file, build);
+    io::IoStats query_io;
+    const double measured =
+        common::Mean(index::CountSphereLeafAccesses(
+            on_disk.tree, workload.queries(), workload.radii(), &query_io));
+    std::printf("measured:  %.1f leaf page accesses per query\n", measured);
+    std::printf("relative error: %+.1f%%\n",
+                100.0 * common::RelativeError(result.avg_leaf_accesses,
+                                              measured));
+    std::printf("on-disk I/O (build + queries): %.3f s (%.0fx the "
+                "prediction)\n",
+                (on_disk.io + query_io).CostSeconds(disk),
+                (on_disk.io + query_io).CostSeconds(disk) /
+                    std::max(1e-9, result.io.CostSeconds(disk)));
+  }
+  return 0;
+}
