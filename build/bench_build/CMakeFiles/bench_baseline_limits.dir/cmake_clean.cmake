@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_limits"
+  "../bench/bench_baseline_limits.pdb"
+  "CMakeFiles/bench_baseline_limits.dir/bench_baseline_limits.cc.o"
+  "CMakeFiles/bench_baseline_limits.dir/bench_baseline_limits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

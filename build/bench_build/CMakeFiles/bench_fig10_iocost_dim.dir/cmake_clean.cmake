@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_iocost_dim"
+  "../bench/bench_fig10_iocost_dim.pdb"
+  "CMakeFiles/bench_fig10_iocost_dim.dir/bench_fig10_iocost_dim.cc.o"
+  "CMakeFiles/bench_fig10_iocost_dim.dir/bench_fig10_iocost_dim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_iocost_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

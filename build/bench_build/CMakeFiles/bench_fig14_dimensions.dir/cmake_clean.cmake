@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_dimensions"
+  "../bench/bench_fig14_dimensions.pdb"
+  "CMakeFiles/bench_fig14_dimensions.dir/bench_fig14_dimensions.cc.o"
+  "CMakeFiles/bench_fig14_dimensions.dir/bench_fig14_dimensions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

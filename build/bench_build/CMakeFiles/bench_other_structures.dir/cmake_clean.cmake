@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_other_structures"
+  "../bench/bench_other_structures.pdb"
+  "CMakeFiles/bench_other_structures.dir/bench_other_structures.cc.o"
+  "CMakeFiles/bench_other_structures.dir/bench_other_structures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_other_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

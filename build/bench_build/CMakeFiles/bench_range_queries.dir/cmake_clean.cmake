@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_range_queries"
+  "../bench/bench_range_queries.pdb"
+  "CMakeFiles/bench_range_queries.dir/bench_range_queries.cc.o"
+  "CMakeFiles/bench_range_queries.dir/bench_range_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_texture60"
+  "../bench/bench_table3_texture60.pdb"
+  "CMakeFiles/bench_table3_texture60.dir/bench_table3_texture60.cc.o"
+  "CMakeFiles/bench_table3_texture60.dir/bench_table3_texture60.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_texture60.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_model_comparison"
+  "../bench/bench_table4_model_comparison.pdb"
+  "CMakeFiles/bench_table4_model_comparison.dir/bench_table4_model_comparison.cc.o"
+  "CMakeFiles/bench_table4_model_comparison.dir/bench_table4_model_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_uniform_validation"
+  "../bench/bench_uniform_validation.pdb"
+  "CMakeFiles/bench_uniform_validation.dir/bench_uniform_validation.cc.o"
+  "CMakeFiles/bench_uniform_validation.dir/bench_uniform_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uniform_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_va_file"
+  "../bench/bench_va_file.pdb"
+  "CMakeFiles/bench_va_file.dir/bench_va_file.cc.o"
+  "CMakeFiles/bench_va_file.dir/bench_va_file.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_va_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

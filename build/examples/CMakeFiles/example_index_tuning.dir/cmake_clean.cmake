@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_index_tuning.dir/index_tuning.cpp.o"
+  "CMakeFiles/example_index_tuning.dir/index_tuning.cpp.o.d"
+  "example_index_tuning"
+  "example_index_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_index_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_range_queries.dir/range_queries.cpp.o"
+  "CMakeFiles/example_range_queries.dir/range_queries.cpp.o.d"
+  "example_range_queries"
+  "example_range_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_range_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

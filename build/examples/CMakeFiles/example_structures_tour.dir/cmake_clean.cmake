@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_structures_tour.dir/structures_tour.cpp.o"
+  "CMakeFiles/example_structures_tour.dir/structures_tour.cpp.o.d"
+  "example_structures_tour"
+  "example_structures_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_structures_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

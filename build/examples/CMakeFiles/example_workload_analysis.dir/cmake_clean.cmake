@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workload_analysis.dir/workload_analysis.cpp.o"
+  "CMakeFiles/example_workload_analysis.dir/workload_analysis.cpp.o.d"
+  "example_workload_analysis"
+  "example_workload_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workload_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dim_selector.cc" "src/CMakeFiles/hdidx.dir/apps/dim_selector.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/apps/dim_selector.cc.o.d"
+  "/root/repo/src/apps/multistep_knn.cc" "src/CMakeFiles/hdidx.dir/apps/multistep_knn.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/apps/multistep_knn.cc.o.d"
+  "/root/repo/src/apps/page_size_tuner.cc" "src/CMakeFiles/hdidx.dir/apps/page_size_tuner.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/apps/page_size_tuner.cc.o.d"
+  "/root/repo/src/baselines/fractal.cc" "src/CMakeFiles/hdidx.dir/baselines/fractal.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/baselines/fractal.cc.o.d"
+  "/root/repo/src/baselines/histogram.cc" "src/CMakeFiles/hdidx.dir/baselines/histogram.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/baselines/histogram.cc.o.d"
+  "/root/repo/src/baselines/mtree_model.cc" "src/CMakeFiles/hdidx.dir/baselines/mtree_model.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/baselines/mtree_model.cc.o.d"
+  "/root/repo/src/baselines/uniform_model.cc" "src/CMakeFiles/hdidx.dir/baselines/uniform_model.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/baselines/uniform_model.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/hdidx.dir/common/random.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/hdidx.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/compensation.cc" "src/CMakeFiles/hdidx.dir/core/compensation.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/compensation.cc.o.d"
+  "/root/repo/src/core/confidence.cc" "src/CMakeFiles/hdidx.dir/core/confidence.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/confidence.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/hdidx.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/cutoff.cc" "src/CMakeFiles/hdidx.dir/core/cutoff.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/cutoff.cc.o.d"
+  "/root/repo/src/core/dynamic_mini_index.cc" "src/CMakeFiles/hdidx.dir/core/dynamic_mini_index.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/dynamic_mini_index.cc.o.d"
+  "/root/repo/src/core/hupper.cc" "src/CMakeFiles/hdidx.dir/core/hupper.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/hupper.cc.o.d"
+  "/root/repo/src/core/mini_index.cc" "src/CMakeFiles/hdidx.dir/core/mini_index.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/mini_index.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/CMakeFiles/hdidx.dir/core/predictor.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/predictor.cc.o.d"
+  "/root/repo/src/core/resampled.cc" "src/CMakeFiles/hdidx.dir/core/resampled.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/resampled.cc.o.d"
+  "/root/repo/src/core/sstree_predict.cc" "src/CMakeFiles/hdidx.dir/core/sstree_predict.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/core/sstree_predict.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/hdidx.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/hdidx.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/hdidx.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/hdidx.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "src/CMakeFiles/hdidx.dir/data/transforms.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/data/transforms.cc.o.d"
+  "/root/repo/src/geometry/bounding_box.cc" "src/CMakeFiles/hdidx.dir/geometry/bounding_box.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/geometry/bounding_box.cc.o.d"
+  "/root/repo/src/geometry/bounding_sphere.cc" "src/CMakeFiles/hdidx.dir/geometry/bounding_sphere.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/geometry/bounding_sphere.cc.o.d"
+  "/root/repo/src/geometry/distance.cc" "src/CMakeFiles/hdidx.dir/geometry/distance.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/geometry/distance.cc.o.d"
+  "/root/repo/src/index/bulk_loader.cc" "src/CMakeFiles/hdidx.dir/index/bulk_loader.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/bulk_loader.cc.o.d"
+  "/root/repo/src/index/external_build.cc" "src/CMakeFiles/hdidx.dir/index/external_build.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/external_build.cc.o.d"
+  "/root/repo/src/index/knn.cc" "src/CMakeFiles/hdidx.dir/index/knn.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/knn.cc.o.d"
+  "/root/repo/src/index/pyramid.cc" "src/CMakeFiles/hdidx.dir/index/pyramid.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/pyramid.cc.o.d"
+  "/root/repo/src/index/rstar.cc" "src/CMakeFiles/hdidx.dir/index/rstar.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/rstar.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/hdidx.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/rtree.cc.o.d"
+  "/root/repo/src/index/sstree.cc" "src/CMakeFiles/hdidx.dir/index/sstree.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/sstree.cc.o.d"
+  "/root/repo/src/index/topology.cc" "src/CMakeFiles/hdidx.dir/index/topology.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/topology.cc.o.d"
+  "/root/repo/src/index/tree_io.cc" "src/CMakeFiles/hdidx.dir/index/tree_io.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/tree_io.cc.o.d"
+  "/root/repo/src/index/va_file.cc" "src/CMakeFiles/hdidx.dir/index/va_file.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/index/va_file.cc.o.d"
+  "/root/repo/src/io/disk_model.cc" "src/CMakeFiles/hdidx.dir/io/disk_model.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/io/disk_model.cc.o.d"
+  "/root/repo/src/io/io_stats.cc" "src/CMakeFiles/hdidx.dir/io/io_stats.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/io/io_stats.cc.o.d"
+  "/root/repo/src/io/lru_cache.cc" "src/CMakeFiles/hdidx.dir/io/lru_cache.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/io/lru_cache.cc.o.d"
+  "/root/repo/src/io/paged_file.cc" "src/CMakeFiles/hdidx.dir/io/paged_file.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/io/paged_file.cc.o.d"
+  "/root/repo/src/workload/query_workload.cc" "src/CMakeFiles/hdidx.dir/workload/query_workload.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/workload/query_workload.cc.o.d"
+  "/root/repo/src/workload/range_workload.cc" "src/CMakeFiles/hdidx.dir/workload/range_workload.cc.o" "gcc" "src/CMakeFiles/hdidx.dir/workload/range_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

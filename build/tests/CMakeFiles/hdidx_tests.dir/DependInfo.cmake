@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_multistep_test.cc" "tests/CMakeFiles/hdidx_tests.dir/apps_multistep_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/apps_multistep_test.cc.o.d"
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/hdidx_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/baselines_fractal_test.cc" "tests/CMakeFiles/hdidx_tests.dir/baselines_fractal_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/baselines_fractal_test.cc.o.d"
+  "/root/repo/tests/baselines_histogram_test.cc" "tests/CMakeFiles/hdidx_tests.dir/baselines_histogram_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/baselines_histogram_test.cc.o.d"
+  "/root/repo/tests/baselines_mtree_model_test.cc" "tests/CMakeFiles/hdidx_tests.dir/baselines_mtree_model_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/baselines_mtree_model_test.cc.o.d"
+  "/root/repo/tests/baselines_uniform_test.cc" "tests/CMakeFiles/hdidx_tests.dir/baselines_uniform_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/baselines_uniform_test.cc.o.d"
+  "/root/repo/tests/common_random_test.cc" "tests/CMakeFiles/hdidx_tests.dir/common_random_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/common_random_test.cc.o.d"
+  "/root/repo/tests/common_stats_test.cc" "tests/CMakeFiles/hdidx_tests.dir/common_stats_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/common_stats_test.cc.o.d"
+  "/root/repo/tests/core_compensation_test.cc" "tests/CMakeFiles/hdidx_tests.dir/core_compensation_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/core_compensation_test.cc.o.d"
+  "/root/repo/tests/core_confidence_test.cc" "tests/CMakeFiles/hdidx_tests.dir/core_confidence_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/core_confidence_test.cc.o.d"
+  "/root/repo/tests/core_cost_model_test.cc" "tests/CMakeFiles/hdidx_tests.dir/core_cost_model_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/core_cost_model_test.cc.o.d"
+  "/root/repo/tests/core_cutoff_test.cc" "tests/CMakeFiles/hdidx_tests.dir/core_cutoff_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/core_cutoff_test.cc.o.d"
+  "/root/repo/tests/core_dynamic_mini_index_test.cc" "tests/CMakeFiles/hdidx_tests.dir/core_dynamic_mini_index_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/core_dynamic_mini_index_test.cc.o.d"
+  "/root/repo/tests/core_hupper_test.cc" "tests/CMakeFiles/hdidx_tests.dir/core_hupper_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/core_hupper_test.cc.o.d"
+  "/root/repo/tests/core_mini_index_test.cc" "tests/CMakeFiles/hdidx_tests.dir/core_mini_index_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/core_mini_index_test.cc.o.d"
+  "/root/repo/tests/core_resampled_test.cc" "tests/CMakeFiles/hdidx_tests.dir/core_resampled_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/core_resampled_test.cc.o.d"
+  "/root/repo/tests/core_sstree_test.cc" "tests/CMakeFiles/hdidx_tests.dir/core_sstree_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/core_sstree_test.cc.o.d"
+  "/root/repo/tests/data_csv_test.cc" "tests/CMakeFiles/hdidx_tests.dir/data_csv_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/data_csv_test.cc.o.d"
+  "/root/repo/tests/data_dataset_io_test.cc" "tests/CMakeFiles/hdidx_tests.dir/data_dataset_io_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/data_dataset_io_test.cc.o.d"
+  "/root/repo/tests/data_dataset_test.cc" "tests/CMakeFiles/hdidx_tests.dir/data_dataset_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/data_dataset_test.cc.o.d"
+  "/root/repo/tests/data_generators_test.cc" "tests/CMakeFiles/hdidx_tests.dir/data_generators_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/data_generators_test.cc.o.d"
+  "/root/repo/tests/data_transforms_test.cc" "tests/CMakeFiles/hdidx_tests.dir/data_transforms_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/data_transforms_test.cc.o.d"
+  "/root/repo/tests/geometry_bounding_box_test.cc" "tests/CMakeFiles/hdidx_tests.dir/geometry_bounding_box_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/geometry_bounding_box_test.cc.o.d"
+  "/root/repo/tests/geometry_distance_test.cc" "tests/CMakeFiles/hdidx_tests.dir/geometry_distance_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/geometry_distance_test.cc.o.d"
+  "/root/repo/tests/index_bulk_loader_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_bulk_loader_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_bulk_loader_test.cc.o.d"
+  "/root/repo/tests/index_external_build_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_external_build_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_external_build_test.cc.o.d"
+  "/root/repo/tests/index_knn_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_knn_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_knn_test.cc.o.d"
+  "/root/repo/tests/index_pyramid_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_pyramid_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_pyramid_test.cc.o.d"
+  "/root/repo/tests/index_rstar_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_rstar_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_rstar_test.cc.o.d"
+  "/root/repo/tests/index_rtree_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_rtree_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_rtree_test.cc.o.d"
+  "/root/repo/tests/index_topology_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_topology_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_topology_test.cc.o.d"
+  "/root/repo/tests/index_tree_io_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_tree_io_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_tree_io_test.cc.o.d"
+  "/root/repo/tests/index_va_file_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_va_file_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_va_file_test.cc.o.d"
+  "/root/repo/tests/index_xtree_test.cc" "tests/CMakeFiles/hdidx_tests.dir/index_xtree_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/index_xtree_test.cc.o.d"
+  "/root/repo/tests/integration_prediction_test.cc" "tests/CMakeFiles/hdidx_tests.dir/integration_prediction_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/integration_prediction_test.cc.o.d"
+  "/root/repo/tests/io_lru_cache_test.cc" "tests/CMakeFiles/hdidx_tests.dir/io_lru_cache_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/io_lru_cache_test.cc.o.d"
+  "/root/repo/tests/io_paged_file_test.cc" "tests/CMakeFiles/hdidx_tests.dir/io_paged_file_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/io_paged_file_test.cc.o.d"
+  "/root/repo/tests/property_extended_test.cc" "tests/CMakeFiles/hdidx_tests.dir/property_extended_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/property_extended_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/hdidx_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/hdidx_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/workload_range_test.cc" "tests/CMakeFiles/hdidx_tests.dir/workload_range_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/workload_range_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/hdidx_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/hdidx_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdidx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdidx_gen.dir/hdidx_gen.cc.o"
+  "CMakeFiles/hdidx_gen.dir/hdidx_gen.cc.o.d"
+  "hdidx_gen"
+  "hdidx_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdidx_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

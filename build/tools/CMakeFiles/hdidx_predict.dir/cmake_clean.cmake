@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdidx_predict.dir/hdidx_predict.cc.o"
+  "CMakeFiles/hdidx_predict.dir/hdidx_predict.cc.o.d"
+  "hdidx_predict"
+  "hdidx_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdidx_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
