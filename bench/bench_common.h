@@ -4,7 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
+
+#include "common/parallel.h"
 
 namespace hdidx::bench {
 
@@ -30,10 +34,39 @@ inline void PrintHeader(const std::string& experiment,
               "=========\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("Reproduces: %s\n", paper_reference.c_str());
-  std::printf("Scale: %s (set REPRO_SCALE=full for paper-scale runs)\n",
-              FullScale() ? "full" : "quick");
+  std::printf("Scale: %s (set REPRO_SCALE=full for paper-scale runs), "
+              "threads: %zu (HDIDX_THREADS)\n",
+              FullScale() ? "full" : "quick", common::ThreadCount());
   std::printf("==============================================================="
               "=========\n");
+}
+
+/// Parallel experiment runner: executes independent experiment
+/// configurations concurrently on the process-wide pool and returns their
+/// rendered outputs *in configuration order*, so a bench's stdout is
+/// byte-identical no matter how many threads ran it.
+///
+/// Each job must be self-contained (build its own datasets/files — in
+/// particular its own PagedFile, which is not thread-safe) and return the
+/// text it wants printed instead of printing it. Jobs may freely call the
+/// library's parallel entry points: nested parallel sections degrade to
+/// inline serial execution instead of deadlocking.
+inline std::vector<std::string> RunExperiments(
+    const std::vector<std::function<std::string()>>& jobs) {
+  std::vector<std::string> out(jobs.size());
+  common::DefaultExecutionContext().ParallelFor(
+      0, jobs.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) out[i] = jobs[i]();
+      });
+  return out;
+}
+
+/// RunExperiments + print each result in configuration order.
+inline void RunAndPrintExperiments(
+    const std::vector<std::function<std::string()>>& jobs) {
+  for (const std::string& text : RunExperiments(jobs)) {
+    std::fputs(text.c_str(), stdout);
+  }
 }
 
 }  // namespace hdidx::bench

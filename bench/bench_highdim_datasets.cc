@@ -22,8 +22,8 @@
 
 namespace {
 
-void RunDataset(const char* name, const hdidx::data::Dataset& dataset,
-                size_t q, size_t memory) {
+std::string RunDataset(const char* name, const hdidx::data::Dataset& dataset,
+                       size_t q, size_t memory) {
   using namespace hdidx;
   const io::DiskModel disk;
   const index::TreeTopology topology =
@@ -69,11 +69,14 @@ void RunDataset(const char* name, const hdidx::data::Dataset& dataset,
       dims.fitted_levels.size() >= 3 && dims.d2 > 1e-3 &&
       static_cast<double>(dataset.size()) >= std::pow(2.0, dims.d0 + 2.0);
 
-  std::printf("%-10s %7zu %5zu %8zu %6zu %10.1f %10.1f %9.1f%% %10s\n", name,
-              dataset.size(), dataset.dim(), topology.NumLeaves(), h_upper,
-              measured, predicted,
-              100 * common::RelativeError(predicted, measured),
-              fractal_ok ? "yes" : "no");
+  char row[160];
+  std::snprintf(row, sizeof(row),
+                "%-10s %7zu %5zu %8zu %6zu %10.1f %10.1f %9.1f%% %10s\n", name,
+                dataset.size(), dataset.dim(), topology.NumLeaves(), h_upper,
+                measured, predicted,
+                100 * common::RelativeError(predicted, measured),
+                fractal_ok ? "yes" : "no");
+  return std::string(row);
 }
 
 }  // namespace
@@ -90,15 +93,26 @@ int main() {
               "d", "leaves", "h_up", "measured", "predicted", "rel.err",
               "fractal?");
 
-  RunDataset("STOCK360",
-             data::Stock360Surrogate(bench::Scaled(3000, 6500), 91), q,
-             memory);
-  RunDataset("ISOLET617",
-             data::Isolet617Surrogate(bench::Scaled(3000, 7800), 91), q,
-             memory);
-  RunDataset("TEXTURE48",
-             data::Texture48Surrogate(bench::Scaled(8000, 26697), 91), q,
-             memory);
+  // The three datasets are independent configurations: each job builds its
+  // own dataset and simulated file, so they run concurrently while the
+  // output stays in configuration order.
+  bench::RunAndPrintExperiments({
+      [&] {
+        return RunDataset("STOCK360",
+                          data::Stock360Surrogate(bench::Scaled(3000, 6500), 91),
+                          q, memory);
+      },
+      [&] {
+        return RunDataset("ISOLET617",
+                          data::Isolet617Surrogate(bench::Scaled(3000, 7800), 91),
+                          q, memory);
+      },
+      [&] {
+        return RunDataset("TEXTURE48",
+                          data::Texture48Surrogate(bench::Scaled(8000, 26697), 91),
+                          q, memory);
+      },
+  });
 
   std::printf("\nPaper shape: sampling still predicts within single-digit "
               "percent errors at\n360-617 dimensions, where the fractal "

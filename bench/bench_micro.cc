@@ -1,17 +1,26 @@
 // E12: google-benchmark microbenchmarks of the library's hot paths —
-// bulk loading, MINDIST evaluation, sphere counting, box counting, and the
-// compensation arithmetic.
+// bulk loading, MINDIST evaluation, sphere counting, box counting, the
+// compensation arithmetic, and the threads-sweep of the parallel execution
+// layer (run with --benchmark_format=json to get the speedup counters in
+// machine-readable form for the perf trajectory).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <map>
+#include <string>
+
 #include "baselines/fractal.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "core/compensation.h"
+#include "core/mini_index.h"
 #include "data/generators.h"
 #include "geometry/distance.h"
 #include "index/bulk_loader.h"
 #include "index/knn.h"
 #include "index/topology.h"
+#include "workload/query_workload.h"
 
 namespace {
 
@@ -99,6 +108,94 @@ void BM_Compensation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Compensation);
+
+// ---------------------------------------------------------------------------
+// Threads sweep (1/2/4/8) over the parallel execution layer. Each benchmark
+// times the operation under a pool of state.range(0) threads and reports
+//   threads          — the pool size,
+//   speedup_vs_1t    — wall-clock of the 1-thread run over this run,
+// so the JSON output carries the scaling trajectory directly. The 1-thread
+// baseline is captured when the sweep runs its first (threads=1) config.
+
+/// Remembers the 1-thread mean wall time per sweep family so later configs
+/// can report their speedup. google-benchmark runs registrations in order,
+/// so threads=1 completes first.
+double& BaselineNs(const std::string& family) {
+  static std::map<std::string, double> baselines;
+  return baselines[family];
+}
+
+/// The sweep's shared input, built once: 100k x 16 clustered points.
+const data::Dataset& SweepData() {
+  static const data::Dataset* data = new data::Dataset(MakeData(100000, 16));
+  return *data;
+}
+
+void ReportSweep(benchmark::State& state, const std::string& family,
+                 size_t threads, double total_ns) {
+  const double mean_ns =
+      total_ns / static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  if (threads == 1) BaselineNs(family) = mean_ns;
+  const double baseline = BaselineNs(family);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["speedup_vs_1t"] =
+      baseline > 0.0 && mean_ns > 0.0 ? baseline / mean_ns : 0.0;
+}
+
+// The acceptance workload of the parallel-layer refactor: q=100 exact 21-NN
+// radii over 100k x 16 points.
+void BM_WorkloadCreateThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const data::Dataset& data = SweepData();
+  common::ThreadPool pool(threads);
+  const common::ExecutionContext ctx(&pool);
+  double total_ns = 0.0;
+  for (auto _ : state) {
+    common::Rng rng(7);
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        workload::QueryWorkload::Create(data, 100, 21, &rng, ctx));
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  }
+  ReportSweep(state, "workload_create", threads, total_ns);
+}
+BENCHMARK(BM_WorkloadCreateThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_MiniIndexPredictThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const data::Dataset& data = SweepData();
+  static const index::TreeTopology& topo =
+      *new index::TreeTopology(data.size(), 33, 16);
+  static const workload::QueryWorkload& queries =
+      *new workload::QueryWorkload([&] {
+        common::Rng rng(8);
+        return workload::QueryWorkload::Create(data, 100, 21, &rng);
+      }());
+  common::ThreadPool pool(threads);
+  const common::ExecutionContext ctx(&pool);
+  core::MiniIndexParams params;
+  params.sampling_fraction = 0.1;
+  params.seed = 9;
+  double total_ns = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        core::PredictWithMiniIndex(data, topo, queries, params, ctx));
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  }
+  ReportSweep(state, "mini_index_predict", threads, total_ns);
+}
+BENCHMARK(BM_MiniIndexPredictThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 }  // namespace
 

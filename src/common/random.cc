@@ -23,6 +23,14 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = SplitMix64(&sm);
 }
 
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Mix the full parent state with the stream id into a fresh seed; the
+  // golden-ratio multiplier decorrelates adjacent stream ids.
+  uint64_t sm = s_[0] + 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+  sm ^= Rotl(s_[1], 19) ^ Rotl(s_[2], 37) ^ Rotl(s_[3], 53);
+  return Rng(SplitMix64(&sm));
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -21,6 +21,14 @@ class Rng {
   /// streams on every platform.
   explicit Rng(uint64_t seed);
 
+  /// Deterministic substream for parallel sections: a new generator derived
+  /// from this generator's current state and a logical `stream_id` (e.g. a
+  /// chunk index). The child depends only on (parent state at fork time,
+  /// stream_id) — never on which thread calls it or in what order — so
+  /// per-chunk streams are bit-identical for every thread count. Does not
+  /// advance this generator.
+  Rng Fork(uint64_t stream_id) const;
+
   /// Returns the next raw 64-bit value.
   uint64_t NextU64();
 

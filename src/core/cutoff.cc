@@ -91,7 +91,8 @@ void SynthesizeUniformLeaves(const geometry::BoundingBox& grown_leaf,
 PredictionResult PredictWithCutoffTree(io::PagedFile* file,
                                        const index::TreeTopology& topology,
                                        const workload::QueryRegions& queries,
-                                       const CutoffParams& params) {
+                                       const CutoffParams& params,
+                                       const common::ExecutionContext& ctx) {
   assert(params.memory_points > 0);
   assert(params.h_upper >= 1 && params.h_upper < topology.height());
 
@@ -119,8 +120,9 @@ PredictionResult PredictWithCutoffTree(io::PagedFile* file,
                             topology, &leaves);
   }
 
-  // Steps 8-9: intersection counting.
-  CountLeafIntersections(leaves, queries, &result);
+  // Steps 8-9: intersection counting (the only parallel section — all I/O
+  // charging above runs serially on this thread).
+  CountLeafIntersections(leaves, queries, &result, ctx);
   result.io = file->stats();
   result.io.page_seeks -= before.page_seeks;
   result.io.page_transfers -= before.page_transfers;

@@ -34,10 +34,10 @@ struct CutoffParams {
 /// levels are derived from uniformity alone, accuracy degrades on clustered
 /// high-dimensional data (the paper's Table 3 shows -64%..-16% errors and
 /// uncorrelated per-query predictions).
-PredictionResult PredictWithCutoffTree(io::PagedFile* file,
-                                       const index::TreeTopology& topology,
-                                       const workload::QueryRegions& queries,
-                                       const CutoffParams& params);
+PredictionResult PredictWithCutoffTree(
+    io::PagedFile* file, const index::TreeTopology& topology,
+    const workload::QueryRegions& queries, const CutoffParams& params,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 /// Synthesizes the data-page boxes the bulk loader would produce for
 /// `full_points` uniformly distributed points whose MBR is `grown_leaf` at

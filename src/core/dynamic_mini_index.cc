@@ -11,7 +11,8 @@ namespace hdidx::core {
 PredictionResult PredictDynamicRStar(const data::Dataset& data,
                                      const index::RStarTree::Options& options,
                                      const workload::QueryRegions& queries,
-                                     const DynamicMiniIndexParams& params) {
+                                     const DynamicMiniIndexParams& params,
+                                     const common::ExecutionContext& ctx) {
   assert(params.sampling_fraction > 0.0 && params.sampling_fraction <= 1.0);
   PredictionResult result;
   result.sigma_upper = params.sampling_fraction;
@@ -49,7 +50,7 @@ PredictionResult PredictDynamicRStar(const data::Dataset& data,
     }
     leaves.push_back(std::move(box));
   }
-  CountLeafIntersections(leaves, queries, &result);
+  CountLeafIntersections(leaves, queries, &result, ctx);
   return result;
 }
 

@@ -29,10 +29,10 @@ struct DynamicMiniIndexParams {
 /// capacity unchanged: the number of leaves, and hence the directory
 /// structure above them, is preserved). Leaf pages are then grown by the
 /// Theorem 1 compensation factor and query-region intersections counted.
-PredictionResult PredictDynamicRStar(const data::Dataset& data,
-                                     const index::RStarTree::Options& options,
-                                     const workload::QueryRegions& queries,
-                                     const DynamicMiniIndexParams& params);
+PredictionResult PredictDynamicRStar(
+    const data::Dataset& data, const index::RStarTree::Options& options,
+    const workload::QueryRegions& queries, const DynamicMiniIndexParams& params,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 }  // namespace hdidx::core
 

@@ -53,12 +53,13 @@ std::vector<geometry::BoundingBox> BuildGrownMiniIndexLeaves(
 PredictionResult PredictWithMiniIndex(const data::Dataset& data,
                                       const index::TreeTopology& topology,
                                       const workload::QueryRegions& queries,
-                                      const MiniIndexParams& params) {
+                                      const MiniIndexParams& params,
+                                      const common::ExecutionContext& ctx) {
   PredictionResult result;
   result.sigma_upper = params.sampling_fraction;
   const std::vector<geometry::BoundingBox> leaves =
       BuildGrownMiniIndexLeaves(data, topology, params);
-  CountLeafIntersections(leaves, queries, &result);
+  CountLeafIntersections(leaves, queries, &result, ctx);
   return result;
 }
 

@@ -31,10 +31,10 @@ struct MiniIndexParams {
 /// This variant assumes the dataset and the mini-index fit in memory, so the
 /// result's I/O counters stay zero; the restricted-memory implementations
 /// are core/cutoff.h and core/resampled.h.
-PredictionResult PredictWithMiniIndex(const data::Dataset& data,
-                                      const index::TreeTopology& topology,
-                                      const workload::QueryRegions& queries,
-                                      const MiniIndexParams& params);
+PredictionResult PredictWithMiniIndex(
+    const data::Dataset& data, const index::TreeTopology& topology,
+    const workload::QueryRegions& queries, const MiniIndexParams& params,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 /// Builds the grown mini-index leaf boxes without counting intersections;
 /// exposed for tests and for inspecting predicted page layouts.

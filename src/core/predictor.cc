@@ -11,56 +11,70 @@ namespace hdidx::core {
 
 void CountLeafIntersections(
     const std::vector<geometry::BoundingBox>& leaf_boxes,
-    const workload::QueryRegions& queries, PredictionResult* result) {
+    const workload::QueryRegions& queries, PredictionResult* result,
+    const common::ExecutionContext& ctx) {
   const size_t q = queries.size();
   result->per_query_accesses.assign(q, 0.0);
   result->num_predicted_leaves = leaf_boxes.size();
-  double total = 0.0;
-  for (size_t i = 0; i < q; ++i) {
-    size_t hits = 0;
-    for (const auto& box : leaf_boxes) {
-      if (queries.Intersects(i, box)) ++hits;
+  ctx.ParallelFor(0, q, /*grain=*/0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      size_t hits = 0;
+      for (const auto& box : leaf_boxes) {
+        if (queries.Intersects(i, box)) ++hits;
+      }
+      result->per_query_accesses[i] = static_cast<double>(hits);
     }
-    result->per_query_accesses[i] = static_cast<double>(hits);
-    total += static_cast<double>(hits);
-  }
+  });
+  // Serial reduction in query order: the same floating-point additions, in
+  // the same order, as the serial loop.
+  double total = 0.0;
+  for (size_t i = 0; i < q; ++i) total += result->per_query_accesses[i];
   result->avg_leaf_accesses = q > 0 ? total / static_cast<double>(q) : 0.0;
 }
 
 std::vector<double> MeasureLeafAccesses(const index::RTree& tree,
                                         const workload::QueryRegions& queries,
-                                        io::IoStats* io) {
-  std::vector<double> result(queries.size(), 0.0);
+                                        io::IoStats* io,
+                                        const common::ExecutionContext& ctx) {
+  const size_t q = queries.size();
+  std::vector<double> result(q, 0.0);
   if (tree.empty()) return result;
-  std::vector<uint32_t> stack;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    size_t leaves = 0;
-    size_t dirs = 0;
-    const index::RTreeNode& root = tree.node(tree.root());
-    if (root.is_leaf()) {
-      leaves = root.pages;  // the single page is always read
-    } else {
-      dirs = root.pages;  // the root page is always read
-      if (queries.Intersects(i, root.box)) {
-        stack.assign(root.children.begin(), root.children.end());
-        while (!stack.empty()) {
-          const uint32_t id = stack.back();
-          stack.pop_back();
-          const index::RTreeNode& n = tree.node(id);
-          if (!queries.Intersects(i, n.box)) continue;
-          if (n.is_leaf()) {
-            leaves += n.pages;
-          } else {
-            dirs += n.pages;
-            for (uint32_t child : n.children) stack.push_back(child);
+  std::vector<uint64_t> pages_touched(q, 0);
+  ctx.ParallelFor(0, q, /*grain=*/0, [&](size_t begin, size_t end) {
+    std::vector<uint32_t> stack;  // reused DFS stack, private to the chunk
+    for (size_t i = begin; i < end; ++i) {
+      size_t leaves = 0;
+      size_t dirs = 0;
+      const index::RTreeNode& root = tree.node(tree.root());
+      if (root.is_leaf()) {
+        leaves = root.pages;  // the single page is always read
+      } else {
+        dirs = root.pages;  // the root page is always read
+        if (queries.Intersects(i, root.box)) {
+          stack.assign(root.children.begin(), root.children.end());
+          while (!stack.empty()) {
+            const uint32_t id = stack.back();
+            stack.pop_back();
+            const index::RTreeNode& n = tree.node(id);
+            if (!queries.Intersects(i, n.box)) continue;
+            if (n.is_leaf()) {
+              leaves += n.pages;
+            } else {
+              dirs += n.pages;
+              for (uint32_t child : n.children) stack.push_back(child);
+            }
           }
         }
       }
+      result[i] = static_cast<double>(leaves);
+      pages_touched[i] = leaves + dirs;
     }
-    result[i] = static_cast<double>(leaves);
-    if (io != nullptr) {
-      io->page_seeks += leaves + dirs;
-      io->page_transfers += leaves + dirs;
+  });
+  if (io != nullptr) {
+    // Reduced serially in query order — bit-identical to the serial loop.
+    for (size_t i = 0; i < q; ++i) {
+      io->page_seeks += pages_touched[i];
+      io->page_transfers += pages_touched[i];
     }
   }
   return result;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "data/dataset.h"
 #include "geometry/bounding_box.h"
@@ -44,17 +45,28 @@ struct PredictionResult {
 /// Counts, for each query region, how many of `leaf_boxes` it intersects
 /// (k-NN spheres or range boxes alike), and fills the result's access
 /// fields. Shared by all predictors.
-void CountLeafIntersections(const std::vector<geometry::BoundingBox>& leaf_boxes,
-                            const workload::QueryRegions& queries,
-                            PredictionResult* result);
+///
+/// Queries are counted concurrently on `ctx`; each writes only its own
+/// per_query_accesses slot and the average is reduced serially in query
+/// order afterwards, so every result field is bit-identical for any thread
+/// count (including 1).
+void CountLeafIntersections(
+    const std::vector<geometry::BoundingBox>& leaf_boxes,
+    const workload::QueryRegions& queries, PredictionResult* result,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 /// Measures per-query leaf page accesses on a real tree for any region
 /// type: a DFS from the root prunes subtrees whose MBR the region misses.
 /// If `io` is non-null every page touched (leaf and directory) is charged
 /// as one random access.
-std::vector<double> MeasureLeafAccesses(const index::RTree& tree,
-                                        const workload::QueryRegions& queries,
-                                        io::IoStats* io);
+///
+/// Parallel over queries on `ctx`; per-query page counts are reduced into
+/// `io` serially in query order, keeping the counters bit-identical to the
+/// serial implementation.
+std::vector<double> MeasureLeafAccesses(
+    const index::RTree& tree, const workload::QueryRegions& queries,
+    io::IoStats* io,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 /// Charges the I/O of the predictors' first pass (Figures 5 and 7, steps
 /// 2-4) against `file` — q random query-point reads (Equation 2) plus one

@@ -50,7 +50,8 @@ size_t AssignToBox(std::span<const float> point,
 
 PredictionResult PredictWithResampledTree(
     io::PagedFile* file, const index::TreeTopology& topology,
-    const workload::QueryRegions& queries, const ResampledParams& params) {
+    const workload::QueryRegions& queries, const ResampledParams& params,
+    const common::ExecutionContext& ctx) {
   assert(params.memory_points > 0);
   assert(params.h_upper >= 1 && params.h_upper < topology.height());
 
@@ -175,8 +176,9 @@ PredictionResult PredictWithResampledTree(
     }
   }
 
-  // Step 12: intersection counting.
-  CountLeafIntersections(leaves, queries, &result);
+  // Step 12: intersection counting (the only parallel section — the
+  // resampling pass above charges all its I/O serially on this thread).
+  CountLeafIntersections(leaves, queries, &result, ctx);
   result.io = file->stats() + areas.stats();
   result.io.page_seeks -= before.page_seeks;
   result.io.page_transfers -= before.page_transfers;

@@ -40,7 +40,8 @@ struct ResampledParams {
 /// h_upper follows the Section 4.5 rule.
 PredictionResult PredictWithResampledTree(
     io::PagedFile* file, const index::TreeTopology& topology,
-    const workload::QueryRegions& queries, const ResampledParams& params);
+    const workload::QueryRegions& queries, const ResampledParams& params,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 }  // namespace hdidx::core
 

@@ -46,7 +46,8 @@ double AdaptiveSphereGrowth(double mean_distance, double max_distance,
 
 SsTreePredictionResult PredictSsTreeWithMiniIndex(
     const data::Dataset& data, const index::TreeTopology& topology,
-    const workload::QueryWorkload& workload, const MiniIndexParams& params) {
+    const workload::QueryWorkload& workload, const MiniIndexParams& params,
+    const common::ExecutionContext& ctx) {
   assert(params.sampling_fraction > 0.0 && params.sampling_fraction <= 1.0);
   common::Rng rng(params.seed);
   const size_t sample_size = std::max<size_t>(
@@ -89,7 +90,9 @@ SsTreePredictionResult PredictSsTreeWithMiniIndex(
 
   SsTreePredictionResult result;
   result.num_predicted_leaves = leaves.size();
-  result.per_query_accesses = MeasureSsTreeLeafAccesses(leaves, workload);
+  result.per_query_accesses = MeasureSsTreeLeafAccesses(leaves, workload, ctx);
+  // Serial reduction in query order keeps the average bit-identical for any
+  // thread count.
   double total = 0.0;
   for (double v : result.per_query_accesses) total += v;
   result.avg_leaf_accesses =
@@ -101,12 +104,17 @@ SsTreePredictionResult PredictSsTreeWithMiniIndex(
 
 std::vector<double> MeasureSsTreeLeafAccesses(
     const std::vector<geometry::BoundingSphere>& leaves,
-    const workload::QueryWorkload& workload) {
+    const workload::QueryWorkload& workload,
+    const common::ExecutionContext& ctx) {
   std::vector<double> result(workload.num_queries(), 0.0);
-  for (size_t i = 0; i < workload.num_queries(); ++i) {
-    result[i] = static_cast<double>(index::CountSphereAccesses(
-        leaves, workload.queries().row(i), workload.radius(i)));
-  }
+  ctx.ParallelFor(0, workload.num_queries(), /*grain=*/0,
+                  [&](size_t begin, size_t end) {
+                    for (size_t i = begin; i < end; ++i) {
+                      result[i] = static_cast<double>(index::CountSphereAccesses(
+                          leaves, workload.queries().row(i),
+                          workload.radius(i)));
+                    }
+                  });
   return result;
 }
 

@@ -60,13 +60,16 @@ struct SsTreePredictionResult {
 /// inherent property of centroid-sphere pages, not of the sampling model.
 SsTreePredictionResult PredictSsTreeWithMiniIndex(
     const data::Dataset& data, const index::TreeTopology& topology,
-    const workload::QueryWorkload& workload, const MiniIndexParams& params);
+    const workload::QueryWorkload& workload, const MiniIndexParams& params,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 /// Measurement counterpart: per-query counts of leaf spheres intersecting
-/// the workload's k-NN spheres.
+/// the workload's k-NN spheres. Parallel over queries on `ctx`; each query
+/// writes only its own slot, so the result is thread-count independent.
 std::vector<double> MeasureSsTreeLeafAccesses(
     const std::vector<geometry::BoundingSphere>& leaves,
-    const workload::QueryWorkload& workload);
+    const workload::QueryWorkload& workload,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 }  // namespace hdidx::core
 

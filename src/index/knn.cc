@@ -39,6 +39,17 @@ double ExactKthDistance(const data::Dataset& data,
   return heap.Kth();
 }
 
+double ExactKthDistanceExcludingRow(const data::Dataset& data,
+                                    std::span<const float> query, size_t k,
+                                    size_t exclude_row) {
+  KnnHeap heap(k);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i == exclude_row) continue;
+    heap.Push(geometry::SquaredL2(data.row(i), query));
+  }
+  return heap.Kth();
+}
+
 std::vector<size_t> ExactKnn(const data::Dataset& data,
                              std::span<const float> query, size_t k) {
   std::vector<std::pair<double, size_t>> all;
@@ -109,21 +120,29 @@ TreeKnnResult TreeKnnSearch(const RTree& tree, const data::Dataset& data,
   return result;
 }
 
-std::vector<double> CountSphereLeafAccesses(const RTree& tree,
-                                            const data::Dataset& centers,
-                                            const std::vector<double>& radii,
-                                            io::IoStats* io) {
+std::vector<double> CountSphereLeafAccesses(
+    const RTree& tree, const data::Dataset& centers,
+    const std::vector<double>& radii, io::IoStats* io,
+    const common::ExecutionContext& ctx) {
   assert(centers.size() == radii.size());
-  std::vector<double> result(centers.size(), 0.0);
-  for (size_t i = 0; i < centers.size(); ++i) {
-    const RTree::AccessCount count =
-        tree.CountSphereAccesses(centers.row(i), radii[i]);
-    result[i] = static_cast<double>(count.leaf_accesses);
-    if (io != nullptr) {
-      // Nearly all query-time page accesses are random (Section 5.1): one
-      // seek and one transfer per page touched.
-      io->page_seeks += count.total();
-      io->page_transfers += count.total();
+  const size_t q = centers.size();
+  std::vector<double> result(q, 0.0);
+  std::vector<uint64_t> total_pages(q, 0);
+  ctx.ParallelFor(0, q, /*grain=*/0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const RTree::AccessCount count =
+          tree.CountSphereAccesses(centers.row(i), radii[i]);
+      result[i] = static_cast<double>(count.leaf_accesses);
+      total_pages[i] = count.total();
+    }
+  });
+  if (io != nullptr) {
+    // Nearly all query-time page accesses are random (Section 5.1): one
+    // seek and one transfer per page touched. Reduced serially in query
+    // order so the counters match the serial implementation exactly.
+    for (size_t i = 0; i < q; ++i) {
+      io->page_seeks += total_pages[i];
+      io->page_transfers += total_pages[i];
     }
   }
   return result;

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel.h"
 #include "data/dataset.h"
 #include "index/rtree.h"
 #include "io/io_stats.h"
@@ -47,6 +48,17 @@ class KnnHeap {
 double ExactKthDistance(const data::Dataset& data, std::span<const float> query,
                         size_t k, double exclude_within_sq);
 
+/// Exact k-th-nearest-neighbor distance excluding exactly one row — the
+/// query's own row when queries are drawn from the data. Unlike passing
+/// exclude_within_sq=0.0 to ExactKthDistance (which drops *every*
+/// zero-distance point), duplicates of the query point still count as
+/// neighbors, so on datasets with repeated points this matches the
+/// semantics of the accounted workload scan. Pass exclude_row >= data.size()
+/// to exclude nothing.
+double ExactKthDistanceExcludingRow(const data::Dataset& data,
+                                    std::span<const float> query, size_t k,
+                                    size_t exclude_row);
+
 /// Exact k nearest neighbor row indices (ascending by distance) by linear
 /// scan; used by tests to validate the tree-based search.
 std::vector<size_t> ExactKnn(const data::Dataset& data,
@@ -78,10 +90,14 @@ TreeKnnResult TreeKnnSearch(const RTree& tree, const data::Dataset& data,
 /// and directory) is additionally charged as one random read (seek +
 /// transfer), matching the paper's observation that nearly all query-time
 /// accesses are random.
-std::vector<double> CountSphereLeafAccesses(const RTree& tree,
-                                            const data::Dataset& centers,
-                                            const std::vector<double>& radii,
-                                            io::IoStats* io);
+///
+/// Queries are counted concurrently on `ctx`; per-query counts are written
+/// to independent slots and the I/O counters are reduced in query order, so
+/// the result (including `io`) is bit-identical for every thread count.
+std::vector<double> CountSphereLeafAccesses(
+    const RTree& tree, const data::Dataset& centers,
+    const std::vector<double>& radii, io::IoStats* io,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 }  // namespace hdidx::index
 

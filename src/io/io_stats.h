@@ -11,6 +11,18 @@ namespace hdidx::io {
 /// columns: "page seeks" (reads of a page not adjacent to the previously
 /// accessed page) and "page transfers" (pages moved between disk and
 /// memory).
+///
+/// Thread-safety audit (for the parallel execution layer, common/parallel.h):
+/// IoStats is a plain value type with NO internal synchronization, and the
+/// library keeps it that way on purpose. The simulated disk models a single
+/// arm whose seek accounting depends on the *order* of accesses — concurrent
+/// charging would not just race, it would change the answer. Every parallel
+/// section in this library therefore charges I/O serially on the
+/// orchestrating thread (before or after the compute fan-out) and only
+/// parallelizes pure in-memory compute; where per-query page counts feed
+/// these counters, the partial counts are reduced in query order. Never
+/// mutate one IoStats object (or the PagedFile owning it) from inside a
+/// ParallelFor body.
 struct IoStats {
   uint64_t page_seeks = 0;
   uint64_t page_transfers = 0;

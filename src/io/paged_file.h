@@ -24,6 +24,13 @@ namespace hdidx::io {
 ///
 /// The on-disk external bulk loader and the resampled predictor's k
 /// consecutive disk areas (Figure 8) are both built on this class.
+///
+/// Thread-safety: NOT thread-safe, by design (see the audit note on
+/// IoStats). Read/Write/ChargeAccess mutate the seek-head position
+/// (`next_sequential_page_`) and the I/O counters, both of which are
+/// order-sensitive — the single simulated disk arm is inherently serial.
+/// All accounted I/O must stay on the orchestrating thread; parallel
+/// sections may only touch the unaccounted `raw()` span (read-only).
 class PagedFile {
  public:
   /// Creates an empty file for points of dimensionality `dim` under the

@@ -22,24 +22,31 @@ bool QueryWorkload::Intersects(size_t i,
 }
 
 QueryWorkload QueryWorkload::Create(const data::Dataset& data, size_t q,
-                                    size_t k, common::Rng* rng) {
+                                    size_t k, common::Rng* rng,
+                                    const common::ExecutionContext& ctx) {
   assert(!data.empty());
+  // The RNG is consumed serially so the draws match the serial run for any
+  // thread count.
   std::vector<size_t> rows(q);
   for (size_t i = 0; i < q; ++i) {
     rows[i] = static_cast<size_t>(rng->NextBounded(data.size()));
   }
   data::Dataset queries = data.Select(rows);
+  // Each query's exact scan is independent and writes only its own slot.
   std::vector<double> radii(q);
-  for (size_t i = 0; i < q; ++i) {
-    radii[i] = index::ExactKthDistance(data, queries.row(i), k,
-                                       /*exclude_within_sq=*/0.0);
-  }
+  ctx.ParallelFor(0, q, /*grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      radii[i] =
+          index::ExactKthDistanceExcludingRow(data, queries.row(i), k, rows[i]);
+    }
+  });
   return QueryWorkload(std::move(queries), std::move(radii), std::move(rows),
                        k);
 }
 
 ScanResult ScanForWorkloadAndSample(io::PagedFile* file, size_t q, size_t k,
-                                    size_t sample_size, common::Rng* rng) {
+                                    size_t sample_size, common::Rng* rng,
+                                    const common::ExecutionContext& ctx) {
   const size_t n = file->size();
   const size_t dim = file->dim();
   assert(n > 0);
@@ -64,29 +71,36 @@ ScanResult ScanForWorkloadAndSample(io::PagedFile* file, size_t q, size_t k,
 
   // Step 2: one sequential scan feeding every query's k-NN heap and
   // collecting the sample. Memory-chunked in reality; charging the scan as
-  // one sequential access is I/O-equivalent (1 seek + N/B transfers).
+  // one sequential access is I/O-equivalent (1 seek + N/B transfers). The
+  // charge happens serially here, before any compute fans out — the
+  // simulated disk sees the exact same accesses as the serial code.
   file->ChargeAccess(0, n);
   const auto raw = file->raw();
 
-  std::vector<index::KnnHeap> heaps(q, index::KnnHeap(k));
+  // Sample collection (sample_rows is ascending, so this is the file-order
+  // pass the interleaved loop performed).
   data::Dataset sample(dim);
   sample.Reserve(sample_rows.size());
-  size_t next_sample = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const std::span<const float> row = raw.subspan(i * dim, dim);
-    for (size_t j = 0; j < q; ++j) {
-      const double d2 = geometry::SquaredL2(row, queries.row(j));
-      if (d2 <= 0.0 && i == rows[j]) continue;  // exclude the query itself
-      heaps[j].Push(d2);
-    }
-    if (next_sample < sample_rows.size() && sample_rows[next_sample] == i) {
-      sample.Append(row);
-      ++next_sample;
-    }
+  for (size_t row : sample_rows) {
+    sample.Append(raw.subspan(row * dim, dim));
   }
 
+  // The in-memory distance loop, parallel over queries: each chunk owns its
+  // queries' heaps outright and streams the dataset in row order, so every
+  // radius is bit-identical to the serial pass for any thread count.
   std::vector<double> radii(q);
-  for (size_t j = 0; j < q; ++j) radii[j] = heaps[j].Kth();
+  ctx.ParallelFor(0, q, /*grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      index::KnnHeap heap(k);
+      const std::span<const float> query = queries.row(j);
+      for (size_t i = 0; i < n; ++i) {
+        const double d2 = geometry::SquaredL2(raw.subspan(i * dim, dim), query);
+        if (d2 <= 0.0 && i == rows[j]) continue;  // exclude the query itself
+        heap.Push(d2);
+      }
+      radii[j] = heap.Kth();
+    }
+  });
 
   ScanResult result{
       QueryWorkload(std::move(queries), std::move(radii), std::move(rows), k),

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "data/dataset.h"
 #include "io/paged_file.h"
@@ -41,10 +42,18 @@ class QueryRegions {
 class QueryWorkload : public QueryRegions {
  public:
   /// Builds a workload of `q` k-NN queries over an in-memory dataset
-  /// (no I/O accounting). The query point itself is excluded from its
-  /// neighbor set, consistent with query points drawn from the data.
-  static QueryWorkload Create(const data::Dataset& data, size_t q, size_t k,
-                              common::Rng* rng);
+  /// (no I/O accounting). Exactly the query's own row is excluded from its
+  /// neighbor set — duplicates of the query point still count as neighbors —
+  /// matching ScanForWorkloadAndSample, so both constructors produce
+  /// identical radii for the same query rows.
+  ///
+  /// `rng` is consumed serially (the row draws), so the random stream is
+  /// identical for every thread count; only the per-query exact k-NN scans
+  /// fan out on `ctx`, each writing its own radius slot. Radii are therefore
+  /// bit-identical to the single-threaded run.
+  static QueryWorkload Create(
+      const data::Dataset& data, size_t q, size_t k, common::Rng* rng,
+      const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
   // QueryRegions: sphere-vs-box intersection with the exact k-NN radius.
   size_t size() const override { return queries_.size(); }
@@ -88,8 +97,16 @@ struct ScanResult {
 ///   2. scans the whole dataset sequentially once — cost_ScanDataset —
 ///      feeding every query's k-NN heap and extracting a uniform sample of
 ///      min(sample_size, N) points.
-ScanResult ScanForWorkloadAndSample(io::PagedFile* file, size_t q, size_t k,
-                                    size_t sample_size, common::Rng* rng);
+///
+/// All I/O charging (the q random reads and the one sequential scan) happens
+/// serially on the calling thread exactly as before — the simulated disk's
+/// seek/transfer accounting is byte-identical for every thread count. Only
+/// the in-memory distance loop fans out on `ctx`, over queries (each query's
+/// heap is private to its chunk), so radii are bit-identical too.
+ScanResult ScanForWorkloadAndSample(
+    io::PagedFile* file, size_t q, size_t k, size_t sample_size,
+    common::Rng* rng,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 }  // namespace hdidx::workload
 

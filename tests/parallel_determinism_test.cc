@@ -1,0 +1,154 @@
+// The parallel execution layer's headline invariant: every library entry
+// point that fans out on an ExecutionContext produces bit-identical results
+// for every thread count (see src/common/parallel.h for the contract). These
+// tests run the refactored paths under explicit 1/2/8-thread pools and
+// compare exact bit patterns — EXPECT_EQ on doubles, not EXPECT_NEAR.
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "core/mini_index.h"
+#include "core/predictor.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "index/bulk_loader.h"
+#include "index/knn.h"
+#include "index/topology.h"
+#include "io/paged_file.h"
+#include "test_util.h"
+#include "workload/query_workload.h"
+
+namespace hdidx {
+namespace {
+
+// Runs `fn(ctx)` under pools of 1, 2 and 8 threads and returns the three
+// results for comparison.
+template <typename Fn>
+auto RunAtThreadCounts(Fn&& fn) {
+  using Result = decltype(fn(common::ExecutionContext()));
+  std::vector<Result> results;
+  for (size_t threads : {1u, 2u, 8u}) {
+    common::ThreadPool pool(threads);
+    const common::ExecutionContext ctx(&pool);
+    results.push_back(fn(ctx));
+  }
+  return results;
+}
+
+TEST(ParallelDeterminismTest, WorkloadCreateBitIdentical) {
+  const auto data = hdidx::testing::SmallClustered(2000, 8, 21);
+  const auto runs = RunAtThreadCounts([&](const common::ExecutionContext& ctx) {
+    common::Rng rng(5);
+    return workload::QueryWorkload::Create(data, 40, 7, &rng, ctx);
+  });
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].num_queries(), runs[0].num_queries());
+    EXPECT_EQ(runs[r].query_rows(), runs[0].query_rows());
+    for (size_t i = 0; i < runs[0].num_queries(); ++i) {
+      EXPECT_EQ(runs[r].radius(i), runs[0].radius(i)) << "query " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ScanForWorkloadAndSampleBitIdentical) {
+  const auto data = hdidx::testing::SmallClustered(1500, 6, 23);
+  struct Run {
+    workload::ScanResult scan;
+    io::IoStats io;
+  };
+  const auto runs = RunAtThreadCounts([&](const common::ExecutionContext& ctx) {
+    io::PagedFile file = io::PagedFile::FromDataset(data, io::DiskModel{});
+    common::Rng rng(6);
+    Run run{workload::ScanForWorkloadAndSample(&file, 25, 5, 200, &rng, ctx),
+            file.stats()};
+    return run;
+  });
+  for (size_t r = 1; r < runs.size(); ++r) {
+    // Simulated I/O accounting stays serial and must be byte-identical.
+    EXPECT_EQ(runs[r].io.page_seeks, runs[0].io.page_seeks);
+    EXPECT_EQ(runs[r].io.page_transfers, runs[0].io.page_transfers);
+    ASSERT_EQ(runs[r].scan.workload.num_queries(),
+              runs[0].scan.workload.num_queries());
+    for (size_t i = 0; i < runs[0].scan.workload.num_queries(); ++i) {
+      EXPECT_EQ(runs[r].scan.workload.radius(i),
+                runs[0].scan.workload.radius(i));
+    }
+    ASSERT_EQ(runs[r].scan.sample.size(), runs[0].scan.sample.size());
+    EXPECT_EQ(runs[r].scan.sampling_ratio, runs[0].scan.sampling_ratio);
+  }
+}
+
+TEST(ParallelDeterminismTest, PredictWithMiniIndexBitIdentical) {
+  const auto data = hdidx::testing::SmallClustered(3000, 8, 25);
+  const index::TreeTopology topo(data.size(), 33, 16);
+  common::Rng wrng(7);
+  const workload::QueryWorkload queries =
+      workload::QueryWorkload::Create(data, 30, 11, &wrng);
+  core::MiniIndexParams params;
+  params.sampling_fraction = 0.2;
+  params.seed = 17;
+  const auto runs = RunAtThreadCounts([&](const common::ExecutionContext& ctx) {
+    return core::PredictWithMiniIndex(data, topo, queries, params, ctx);
+  });
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].avg_leaf_accesses, runs[0].avg_leaf_accesses);
+    EXPECT_EQ(runs[r].per_query_accesses, runs[0].per_query_accesses);
+    EXPECT_EQ(runs[r].num_predicted_leaves, runs[0].num_predicted_leaves);
+    EXPECT_EQ(runs[r].sigma_upper, runs[0].sigma_upper);
+  }
+}
+
+TEST(ParallelDeterminismTest, MeasureLeafAccessesBitIdenticalWithIo) {
+  const auto data = hdidx::testing::SmallClustered(2500, 6, 27);
+  const index::TreeTopology topo(data.size(), 33, 16);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  const index::RTree tree = index::BulkLoadInMemory(data, options);
+  common::Rng wrng(9);
+  const workload::QueryWorkload queries =
+      workload::QueryWorkload::Create(data, 35, 9, &wrng);
+  struct Run {
+    std::vector<double> accesses;
+    io::IoStats io;
+  };
+  const auto runs = RunAtThreadCounts([&](const common::ExecutionContext& ctx) {
+    Run run;
+    run.accesses = core::MeasureLeafAccesses(tree, queries, &run.io, ctx);
+    return run;
+  });
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].accesses, runs[0].accesses);
+    EXPECT_EQ(runs[r].io.page_seeks, runs[0].io.page_seeks);
+    EXPECT_EQ(runs[r].io.page_transfers, runs[0].io.page_transfers);
+  }
+}
+
+TEST(ParallelDeterminismTest, CountSphereLeafAccessesBitIdenticalWithIo) {
+  const auto data = hdidx::testing::SmallClustered(2000, 5, 29);
+  const index::TreeTopology topo(data.size(), 33, 16);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  const index::RTree tree = index::BulkLoadInMemory(data, options);
+  common::Rng wrng(13);
+  const workload::QueryWorkload queries =
+      workload::QueryWorkload::Create(data, 30, 5, &wrng);
+  struct Run {
+    std::vector<double> accesses;
+    io::IoStats io;
+  };
+  const auto runs = RunAtThreadCounts([&](const common::ExecutionContext& ctx) {
+    Run run;
+    run.accesses = index::CountSphereLeafAccesses(
+        tree, queries.queries(), queries.radii(), &run.io, ctx);
+    return run;
+  });
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].accesses, runs[0].accesses);
+    EXPECT_EQ(runs[r].io.page_seeks, runs[0].io.page_seeks);
+    EXPECT_EQ(runs[r].io.page_transfers, runs[0].io.page_transfers);
+  }
+}
+
+}  // namespace
+}  // namespace hdidx

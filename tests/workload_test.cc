@@ -30,10 +30,62 @@ TEST(QueryWorkloadTest, RadiiAreExactKnnDistances) {
   common::Rng rng(4);
   const QueryWorkload w = QueryWorkload::Create(data, 10, 5, &rng);
   for (size_t i = 0; i < w.num_queries(); ++i) {
-    const double expected =
-        index::ExactKthDistance(data, w.queries().row(i), 5, 0.0);
+    const double expected = index::ExactKthDistanceExcludingRow(
+        data, w.queries().row(i), 5, w.query_rows()[i]);
     EXPECT_DOUBLE_EQ(w.radius(i), expected);
     EXPECT_GT(w.radius(i), 0.0);
+  }
+}
+
+TEST(QueryWorkloadTest, DuplicatePointsCountAsNeighbors) {
+  // Regression for the duplicate-radius unification: only the query's own
+  // row is excluded from its neighbor set, so a duplicate of the query point
+  // is a valid neighbor at distance 0 — a 1-NN radius of exactly 0 on a
+  // fully duplicated dataset, from both workload constructors.
+  data::Dataset base = hdidx::testing::SmallClustered(100, 3, 17);
+  data::Dataset data(3);
+  for (size_t i = 0; i < base.size(); ++i) {
+    const auto row = base.row(i);
+    data.Append(std::vector<float>(row.begin(), row.end()));
+    data.Append(std::vector<float>(row.begin(), row.end()));
+  }
+
+  common::Rng rng_a(18);
+  const QueryWorkload created = QueryWorkload::Create(data, 20, 1, &rng_a);
+  for (size_t i = 0; i < created.num_queries(); ++i) {
+    EXPECT_EQ(created.radius(i), 0.0) << "query " << i;
+  }
+
+  io::PagedFile file = io::PagedFile::FromDataset(data, io::DiskModel{});
+  common::Rng rng_b(18);
+  const ScanResult scan = ScanForWorkloadAndSample(&file, 20, 1, 50, &rng_b);
+  ASSERT_EQ(scan.workload.num_queries(), created.num_queries());
+  for (size_t i = 0; i < scan.workload.num_queries(); ++i) {
+    EXPECT_EQ(scan.workload.radius(i), 0.0) << "query " << i;
+  }
+}
+
+TEST(QueryWorkloadTest, CreateAndScanAgreeOnDuplicatedData) {
+  // Both construction paths must produce identical radii for the same query
+  // rows even when the dataset contains exact duplicates (k > 1 so the
+  // neighbor set mixes zero- and nonzero-distance points).
+  data::Dataset base = hdidx::testing::SmallClustered(150, 4, 19);
+  data::Dataset data(4);
+  for (size_t i = 0; i < base.size(); ++i) {
+    const auto row = base.row(i);
+    data.Append(std::vector<float>(row.begin(), row.end()));
+    if (i % 3 == 0) data.Append(std::vector<float>(row.begin(), row.end()));
+  }
+
+  common::Rng rng_a(20);
+  const QueryWorkload created = QueryWorkload::Create(data, 15, 4, &rng_a);
+  io::PagedFile file = io::PagedFile::FromDataset(data, io::DiskModel{});
+  common::Rng rng_b(20);
+  const ScanResult scan = ScanForWorkloadAndSample(&file, 15, 4, 60, &rng_b);
+  // Identical rng seeds draw identical query rows in both paths.
+  ASSERT_EQ(scan.workload.query_rows(), created.query_rows());
+  for (size_t i = 0; i < created.num_queries(); ++i) {
+    EXPECT_EQ(scan.workload.radius(i), created.radius(i)) << "query " << i;
   }
 }
 

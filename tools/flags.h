@@ -7,6 +7,8 @@
 #include <map>
 #include <string>
 
+#include "common/parallel.h"
+
 namespace hdidx::tools {
 
 /// Minimal --flag=value / --flag value parser for the command-line tools.
@@ -57,6 +59,15 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Applies the shared --threads flag: a positive value overrides the
+/// HDIDX_THREADS / hardware-concurrency policy for this process. Call before
+/// any library work so the shared pool is sized accordingly (results are
+/// identical for every thread count either way — only wall-clock changes).
+inline void ApplyThreadsFlag(const Flags& flags) {
+  const uint64_t threads = flags.GetUint("threads", 0);
+  if (threads > 0) common::SetThreadCount(static_cast<size_t>(threads));
+}
 
 }  // namespace hdidx::tools
 

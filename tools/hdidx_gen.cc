@@ -4,7 +4,7 @@
 //   hdidx_gen --out data.hdx --kind texture60 [--n 30000] [--seed 1]
 //   hdidx_gen --out data.hdx --kind uniform --n 100000 --dim 8
 //   hdidx_gen --out data.hdx --kind clustered --n 50000 --dim 32
-//             --clusters 24 --intrinsic 6
+//             --clusters 24 --intrinsic 6 [--threads 8]
 //
 // Kinds: color64, texture48, texture60 (= landsat), isolet617, stock360
 // (surrogates of the paper's datasets, Table 1), uniform, clustered.
@@ -20,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace hdidx;
   const tools::Flags flags(argc, argv);
+  tools::ApplyThreadsFlag(flags);
 
   const std::string out = flags.GetString("out", "");
   const std::string kind = flags.GetString("kind", "texture60");
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   if (out.empty()) {
     std::fprintf(stderr,
                  "usage: hdidx_gen --out FILE --kind KIND [--n N] [--seed S]\n"
+                 "                 [--threads T]\n"
                  "       kinds: color64 texture48 texture60 landsat "
                  "isolet617 stock360 uniform clustered\n");
     return 2;

@@ -4,7 +4,7 @@
 // Usage:
 //   hdidx_predict --data data.hdx [--method resampled|cutoff|mini]
 //                 [--memory 10000] [--h-upper N] [--queries 500] [--k 21]
-//                 [--page-bytes 8192] [--seed 1]
+//                 [--page-bytes 8192] [--seed 1] [--threads 8]
 //                 [--measure] [--confidence-runs 5]
 //
 // Prints the predicted average leaf page accesses per query, the
@@ -36,6 +36,9 @@
 int main(int argc, char** argv) {
   using namespace hdidx;
   const tools::Flags flags(argc, argv);
+  // Size the shared pool before any prediction work; results are identical
+  // for every thread count (see README "Parallel execution").
+  tools::ApplyThreadsFlag(flags);
 
   const std::string path = flags.GetString("data", "");
   if (path.empty()) {
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
               topology.height(), topology.NumLeaves(),
               topology.data_capacity(), topology.dir_capacity());
   std::printf("workload: %zu density-biased %zu-NN queries\n", q, k);
+  std::printf("threads:  %zu\n", common::ThreadCount());
 
   common::Rng rng(seed);
   const workload::QueryWorkload workload =
