@@ -20,6 +20,7 @@
 #include "index/bulk_loader.h"
 #include "index/knn.h"
 #include "index/topology.h"
+#include "service/prediction_service.h"
 #include "workload/query_workload.h"
 
 namespace {
@@ -194,6 +195,72 @@ void BM_MiniIndexPredictThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_MiniIndexPredictThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// ---------------------------------------------------------------------------
+// Serving-path throughput: the same request batch through a
+// PredictionService, cold (caches cleared every iteration) vs. warm (all
+// mini-index cache hits). The requests_per_s counter is the number future
+// PRs watch for serving regressions; warm/cold is the cache's payoff.
+
+/// A 2-shard service over two registered 20k x 16 datasets.
+service::PredictionService& SweepService() {
+  static service::PredictionService* svc = [] {
+    service::ServiceOptions options;
+    options.num_shards = 2;
+    options.total_threads = 4;
+    auto* s = new service::PredictionService(options);
+    std::string error;
+    common::Rng rng_a(31), rng_b(32);
+    data::ClusteredConfig config;
+    config.num_points = 20000;
+    config.dim = 16;
+    config.num_clusters = 16;
+    s->registry().Add("a", data::GenerateClustered(config, &rng_a), &error);
+    s->registry().Add("b", data::GenerateClustered(config, &rng_b), &error);
+    return s;
+  }();
+  return *svc;
+}
+
+std::vector<service::ServiceRequest> ServiceBatch() {
+  std::vector<service::ServiceRequest> requests;
+  for (const char* dataset : {"a", "b"}) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      service::ServiceRequest r;
+      r.dataset = dataset;
+      r.method = "resampled";
+      r.memory = 2000;
+      r.num_queries = 50;
+      r.k = 10;
+      r.seed = seed;
+      requests.push_back(r);
+    }
+  }
+  return requests;
+}
+
+void BM_ServiceBatch(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  service::PredictionService& svc = SweepService();
+  const auto batch = ServiceBatch();
+  svc.ClearCaches();
+  if (warm) benchmark::DoNotOptimize(svc.ProcessBatch(batch));
+  for (auto _ : state) {
+    if (!warm) svc.ClearCaches();
+    benchmark::DoNotOptimize(svc.ProcessBatch(batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+  state.counters["requests_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(batch.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["warm_cache"] = warm ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ServiceBatch)
+    ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 

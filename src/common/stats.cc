@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -58,6 +59,17 @@ double PearsonCorrelation(const std::vector<double>& x,
   }
   if (sxx <= 0.0 || syy <= 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  std::sort(v.begin(), v.end());
+  const double rank = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  if (lo + 1 >= v.size()) return v.back();
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[lo + 1] - v[lo]);
 }
 
 double RelativeError(double predicted, double actual) {

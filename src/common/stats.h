@@ -31,6 +31,11 @@ double Variance(const std::vector<double>& v);
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y);
 
+/// p-th percentile (p in [0, 1]) with linear interpolation between order
+/// statistics; 0 for an empty vector. Used by the prediction service's
+/// per-shard latency metrics (p50/p90/p99).
+double Percentile(std::vector<double> v, double p);
+
 /// Relative error (predicted - actual) / actual as used throughout the
 /// paper's tables: negative values are underestimations, positive values are
 /// overestimations. Returns 0 when actual == 0.

@@ -19,6 +19,7 @@ bool LruCache::Access(uint64_t page_id) {
   if (map_.size() >= capacity_) {
     map_.erase(lru_.back());
     lru_.pop_back();
+    ++evictions_;
   }
   lru_.push_front(page_id);
   map_[page_id] = lru_.begin();
@@ -36,6 +37,7 @@ void LruCache::Clear() {
   map_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
   stats_ = IoStats{};
 }
 

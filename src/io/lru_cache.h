@@ -34,6 +34,9 @@ class LruCache {
   size_t size() const { return map_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  /// Number of pages evicted to make room (not counting capacity-0 misses,
+  /// which never insert in the first place).
+  uint64_t evictions() const { return evictions_; }
   double HitRate() const;
 
   /// I/O charged for the misses so far.
@@ -48,6 +51,7 @@ class LruCache {
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
   IoStats stats_;
 };
 

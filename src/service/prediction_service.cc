@@ -1,0 +1,257 @@
+#include "service/prediction_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/cutoff.h"
+#include "core/hupper.h"
+#include "core/mini_index.h"
+#include "core/resampled.h"
+#include "index/topology.h"
+#include "io/disk_model.h"
+#include "io/paged_file.h"
+
+namespace hdidx::service {
+
+namespace {
+
+/// Everything a cached result is a function of. per_query is serialization
+/// only and deliberately absent: the result bits are the same either way.
+using ResultKey = std::tuple<std::string /*dataset*/, std::string /*method*/,
+                             size_t /*memory*/, size_t /*num_queries*/,
+                             size_t /*k*/, uint64_t /*seed*/,
+                             size_t /*page_bytes*/>;
+
+/// Workloads depend only on the dataset and the draw parameters — they are
+/// shared across methods and memory budgets, which is where the second
+/// amortization of a resident service comes from.
+using WorkloadKey = std::tuple<std::string /*dataset*/, size_t /*num_queries*/,
+                               size_t /*k*/, uint64_t /*seed*/>;
+
+ResultKey KeyOf(const ServiceRequest& r) {
+  return {r.dataset, r.method, r.memory, r.num_queries, r.k, r.seed,
+          r.page_bytes};
+}
+
+}  // namespace
+
+struct PredictionService::Shard {
+  explicit Shard(const ServiceOptions& options, size_t threads)
+      : pool(threads),
+        results(options.result_cache_entries),
+        workloads(options.workload_cache_entries) {}
+
+  common::ThreadPool pool;
+  io::KeyedLruCache<ResultKey, core::PredictionResult> results;
+  io::KeyedLruCache<WorkloadKey, workload::QueryWorkload> workloads;
+  std::vector<double> latencies_ms;
+};
+
+PredictionService::PredictionService(const ServiceOptions& options)
+    : registry_(options.num_shards) {
+  const size_t num_shards = std::max<size_t>(1, options.num_shards);
+  const size_t total = options.total_threads != 0 ? options.total_threads
+                                                  : common::ThreadCount();
+  const size_t per_shard = std::max<size_t>(1, total / num_shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options, per_shard));
+  }
+}
+
+PredictionService::~PredictionService() = default;
+
+size_t PredictionService::threads_per_shard() const {
+  return shards_.front()->pool.num_threads();
+}
+
+ServiceResponse PredictionService::Serve(Shard* shard,
+                                         const ServiceRequest& request) {
+  ServiceResponse response;
+  response.id = request.id;
+  const auto started = std::chrono::steady_clock::now();
+
+  const data::Dataset* dataset = registry_.Find(request.dataset);
+  if (dataset == nullptr) {
+    response.error = "unknown dataset: " + request.dataset;
+    return response;
+  }
+  if (request.method != "mini" && request.method != "cutoff" &&
+      request.method != "resampled") {
+    response.error = "unknown method: " + request.method;
+    return response;
+  }
+  if (request.num_queries == 0 || request.k == 0 || request.memory == 0 ||
+      request.page_bytes == 0) {
+    response.error = "num_queries, k, memory, and page_bytes must be > 0";
+    return response;
+  }
+
+  const ResultKey key = KeyOf(request);
+  if (const auto cached = shard->results.Get(key); cached != nullptr) {
+    // Warm path: the cached result was computed from exactly (request,
+    // dataset), so returning it is bit-identical to recomputing — at zero
+    // simulated I/O.
+    response.ok = true;
+    response.result = *cached;
+    response.cache_hit = true;
+    response.latency_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+    return response;
+  }
+
+  io::DiskModel disk;
+  disk.page_bytes = request.page_bytes;
+  const index::TreeTopology topology =
+      index::TreeTopology::FromDisk(dataset->size(), dataset->dim(), disk);
+  if (request.method != "mini" && topology.height() < 3) {
+    response.error =
+        "dataset too small for the " + request.method +
+        " method (index height < 3); use method=mini";
+    return response;
+  }
+
+  const common::ExecutionContext ctx(&shard->pool, request.seed);
+
+  // Workload: drawn with Rng(seed) exactly as hdidx_predict does, shared
+  // across methods and memory budgets via the per-shard workload cache.
+  const WorkloadKey wkey{request.dataset, request.num_queries, request.k,
+                         request.seed};
+  std::shared_ptr<const workload::QueryWorkload> workload =
+      shard->workloads.Get(wkey);
+  if (workload != nullptr) {
+    response.workload_cache_hit = true;
+  } else {
+    common::Rng rng(request.seed);
+    auto fresh = std::make_shared<workload::QueryWorkload>(
+        workload::QueryWorkload::Create(*dataset, request.num_queries,
+                                        request.k, &rng, ctx));
+    shard->workloads.Put(wkey, fresh);
+    workload = std::move(fresh);
+  }
+
+  const uint64_t prediction_seed = request.seed + 1;
+  if (request.method == "mini") {
+    core::MiniIndexParams params;
+    params.sampling_fraction =
+        std::min(1.0, static_cast<double>(request.memory) /
+                          static_cast<double>(dataset->size()));
+    params.seed = prediction_seed;
+    response.result = core::PredictWithMiniIndex(*dataset, topology,
+                                                 *workload, params, ctx);
+  } else if (request.method == "cutoff") {
+    io::PagedFile file = io::PagedFile::FromDataset(*dataset, disk);
+    core::CutoffParams params;
+    params.memory_points = request.memory;
+    params.h_upper = core::ChooseHupper(topology, request.memory);
+    params.seed = prediction_seed;
+    response.result =
+        core::PredictWithCutoffTree(&file, topology, *workload, params, ctx);
+  } else {
+    io::PagedFile file = io::PagedFile::FromDataset(*dataset, disk);
+    core::ResampledParams params;
+    params.memory_points = request.memory;
+    params.h_upper = core::ChooseHupper(topology, request.memory);
+    params.seed = prediction_seed;
+    response.result = core::PredictWithResampledTree(&file, topology,
+                                                     *workload, params, ctx);
+  }
+  response.ok = true;
+  response.served_io = response.result.io;
+  shard->results.Put(key,
+                     std::make_shared<core::PredictionResult>(response.result));
+  response.latency_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+  return response;
+}
+
+std::vector<ServiceResponse> PredictionService::ProcessBatch(
+    const std::vector<ServiceRequest>& requests) {
+  std::vector<ServiceResponse> responses(requests.size());
+  if (requests.empty()) {
+    ++batches_;
+    return responses;
+  }
+
+  // Partition by owning shard, keeping arrival order within a shard.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    by_shard[registry_.ShardOf(requests[i].dataset)].push_back(i);
+  }
+
+  // One worker thread per nonempty shard; each serves its queue serially
+  // and fans out internally on its own pool. Responses land in their
+  // original batch slots, so output order is arrival order.
+  auto run_shard = [&](size_t s) {
+    Shard* shard = shards_[s].get();
+    for (const size_t i : by_shard[s]) {
+      ServiceResponse response = Serve(shard, requests[i]);
+      response.shard = s;
+      shard->latencies_ms.push_back(response.latency_ms);
+      responses[i] = std::move(response);
+    }
+  };
+  std::vector<std::thread> workers;
+  size_t last_nonempty = shards_.size();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!by_shard[s].empty()) last_nonempty = s;
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty() || s == last_nonempty) continue;
+    workers.emplace_back(run_shard, s);
+  }
+  if (last_nonempty < shards_.size()) run_shard(last_nonempty);
+  for (auto& w : workers) w.join();
+
+  ++batches_;
+  requests_ += requests.size();
+  for (const auto& response : responses) {
+    if (!response.ok) ++errors_;
+  }
+  return responses;
+}
+
+ServiceResponse PredictionService::Process(const ServiceRequest& request) {
+  return ProcessBatch({request}).front();
+}
+
+ServiceMetrics PredictionService::Metrics() const {
+  ServiceMetrics m;
+  m.requests = requests_;
+  m.batches = batches_;
+  m.errors = errors_;
+  m.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(requests_) /
+                          static_cast<double>(batches_);
+  for (const auto& shard : shards_) {
+    m.result_hits += shard->results.hits();
+    m.result_misses += shard->results.misses();
+    m.result_evictions += shard->results.evictions();
+    m.workload_hits += shard->workloads.hits();
+    m.workload_misses += shard->workloads.misses();
+    m.workload_evictions += shard->workloads.evictions();
+    ServiceMetrics::Shard sm;
+    sm.requests = shard->latencies_ms.size();
+    sm.p50_ms = common::Percentile(shard->latencies_ms, 0.50);
+    sm.p90_ms = common::Percentile(shard->latencies_ms, 0.90);
+    sm.p99_ms = common::Percentile(shard->latencies_ms, 0.99);
+    m.shards.push_back(sm);
+  }
+  return m;
+}
+
+void PredictionService::ClearCaches() {
+  for (auto& shard : shards_) {
+    shard->results.Clear();
+    shard->workloads.Clear();
+  }
+}
+
+}  // namespace hdidx::service

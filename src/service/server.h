@@ -1,0 +1,32 @@
+#ifndef HDIDX_SERVICE_SERVER_H_
+#define HDIDX_SERVICE_SERVER_H_
+
+#include <iosfwd>
+
+#include "service/prediction_service.h"
+
+namespace hdidx::service {
+
+/// Drives a PredictionService over the line protocol (service/protocol.h):
+/// reads request lines from `in`, writes one response line per request to
+/// `out`, until a shutdown op or end of input.
+///
+/// Batching: consecutive predict lines accumulate into one batch, flushed
+/// by a blank line, by any non-predict op, or by end of input — so a client
+/// that pipes N predict lines plus a terminator gets them served as one
+/// ProcessBatch (amortizing shard fan-out), with responses in request
+/// order. Predict lines without an explicit "id" get a running sequence
+/// number starting at 1.
+///
+/// Malformed lines produce {"op":"error",...} responses (after flushing
+/// the pending batch, to keep response order aligned with request order)
+/// and do not kill the server.
+///
+/// Returns the number of predict requests served. `out` is flushed after
+/// every response line, so interactive clients see answers promptly.
+size_t RunServer(std::istream& in, std::ostream& out,
+                 PredictionService* service);
+
+}  // namespace hdidx::service
+
+#endif  // HDIDX_SERVICE_SERVER_H_

@@ -59,6 +59,26 @@ TEST(StatsTest, PearsonCorrelation) {
   EXPECT_NEAR(PearsonCorrelation({-1, 0, 1}, {1, 0, 1}), 0.0, 1e-12);
 }
 
+TEST(StatsTest, PercentileInterpolatesOrderStatistics) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(Percentile({7.0}, 1.0), 7.0);
+  // {1..5}: p0=1, p50=3, p100=5, p25 halfway between 2 and 3.
+  const std::vector<double> v = {5, 1, 4, 2, 3};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, 0.5), 1.5);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(Percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 2.0), 5.0);
+  // p90 of ten latencies: between the 9th and 10th order statistic.
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) ten.push_back(i);
+  EXPECT_DOUBLE_EQ(Percentile(ten, 0.9), 9.1);
+}
+
 TEST(StatsTest, RelativeErrorSignConvention) {
   // Positive = overestimation, negative = underestimation (paper Table 3).
   EXPECT_NEAR(RelativeError(110, 100), 0.10, 1e-12);

@@ -1,0 +1,217 @@
+// hdidx_client: batch client for hdidx_serve.
+//
+// Composes a load + predict batch over the line protocol, spawns the server
+// (--serve "cmd"), pipes the requests in, checks every response, and prints
+// a session summary. With --repeat (default on) the same batch is sent
+// twice — the second pass must be served from the mini-index cache, which
+// the client verifies from the "cache":"hit" metadata. Exits 0 only on a
+// fully healthy session (all predictions ok, warm batch hit the cache,
+// clean shutdown), so CI can use it as a one-command smoke test.
+//
+// Usage:
+//   hdidx_client --serve "./hdidx_serve --shards 2" --data data.hdx
+//                [--dataset d] [--method resampled] [--memory 10000]
+//                [--k 10] [--queries 100] [--requests 4] [--seed 1]
+//                [--repeat true] [--emit]
+//
+// --emit prints the request lines to stdout instead of spawning a server
+// (for manual piping: hdidx_client --emit ... | hdidx_serve).
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "flags.h"
+#include "service/protocol.h"
+
+namespace {
+
+using hdidx::service::JsonQuote;
+
+constexpr char kUsage[] =
+    "usage: hdidx_client --serve CMD --data FILE [--dataset NAME]\n"
+    "                    [--method mini|cutoff|resampled] [--memory M]\n"
+    "                    [--k K] [--queries Q] [--requests R] [--seed S]\n"
+    "                    [--repeat BOOL] [--emit]\n";
+
+struct SessionSpec {
+  std::string dataset;
+  std::string data_path;
+  std::string method;
+  uint64_t memory = 0;
+  uint64_t k = 0;
+  uint64_t queries = 0;
+  uint64_t requests = 0;
+  uint64_t seed = 0;
+  bool repeat = true;
+};
+
+std::vector<std::string> ComposeLines(const SessionSpec& spec) {
+  std::vector<std::string> lines;
+  lines.push_back("{\"op\":\"load\",\"dataset\":" + JsonQuote(spec.dataset) +
+                  ",\"path\":" + JsonQuote(spec.data_path) + "}");
+  const auto batch = [&](std::vector<std::string>* out) {
+    for (uint64_t i = 0; i < spec.requests; ++i) {
+      out->push_back(
+          "{\"op\":\"predict\",\"dataset\":" + JsonQuote(spec.dataset) +
+          ",\"method\":" + JsonQuote(spec.method) +
+          ",\"memory\":" + std::to_string(spec.memory) +
+          ",\"k\":" + std::to_string(spec.k) +
+          ",\"num_queries\":" + std::to_string(spec.queries) +
+          ",\"seed\":" + std::to_string(spec.seed + i) + "}");
+    }
+    out->push_back("");  // flush the batch
+  };
+  batch(&lines);
+  if (spec.repeat) batch(&lines);  // warm pass: must hit the cache
+  lines.push_back("{\"op\":\"stats\"}");
+  lines.push_back("{\"op\":\"shutdown\"}");
+  return lines;
+}
+
+/// Spawns `command` via /bin/sh with stdin/stdout piped; returns false on
+/// fork/pipe failure.
+bool Spawn(const std::string& command, pid_t* pid, FILE** to_child,
+           FILE** from_child) {
+  int in_pipe[2];   // parent -> child
+  int out_pipe[2];  // child -> parent
+  if (pipe(in_pipe) != 0) return false;
+  if (pipe(out_pipe) != 0) {
+    close(in_pipe[0]);
+    close(in_pipe[1]);
+    return false;
+  }
+  *pid = fork();
+  if (*pid < 0) return false;
+  if (*pid == 0) {
+    dup2(in_pipe[0], STDIN_FILENO);
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(in_pipe[0]);
+    close(in_pipe[1]);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    execl("/bin/sh", "sh", "-c", command.c_str(), nullptr);
+    std::perror("exec");
+    _exit(127);
+  }
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  *to_child = fdopen(in_pipe[1], "w");
+  *from_child = fdopen(out_pipe[0], "r");
+  return *to_child != nullptr && *from_child != nullptr;
+}
+
+bool Contains(const std::string& line, const char* needle) {
+  return line.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hdidx;
+  const tools::Flags flags(argc, argv,
+                           {"serve", "data", "dataset", "method", "memory",
+                            "k", "queries", "requests", "seed", "repeat",
+                            "emit"});
+
+  SessionSpec spec;
+  spec.dataset = flags.GetString("dataset", "d");
+  spec.data_path = flags.GetString("data", "");
+  spec.method = flags.GetString("method", "resampled");
+  spec.memory = flags.GetUint("memory", 10000);
+  spec.k = flags.GetUint("k", 10);
+  spec.queries = flags.GetUint("queries", 100);
+  spec.requests = flags.GetUint("requests", 4);
+  spec.seed = flags.GetUint("seed", 1);
+  spec.repeat = flags.GetString("repeat", "true") != "false";
+  const bool emit = flags.GetBool("emit");
+  const std::string serve_cmd = flags.GetString("serve", "");
+  flags.ExitOnError(kUsage);
+
+  if (spec.data_path.empty() || (!emit && serve_cmd.empty())) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  const std::vector<std::string> lines = ComposeLines(spec);
+  if (emit) {
+    for (const auto& line : lines) std::printf("%s\n", line.c_str());
+    return 0;
+  }
+
+  pid_t pid = -1;
+  FILE* to_child = nullptr;
+  FILE* from_child = nullptr;
+  if (!Spawn(serve_cmd, &pid, &to_child, &from_child)) {
+    std::fprintf(stderr, "error: cannot spawn '%s'\n", serve_cmd.c_str());
+    return 1;
+  }
+
+  // The whole session fits comfortably in the pipe buffer, so write it all
+  // up front, close, then drain responses.
+  for (const auto& line : lines) std::fprintf(to_child, "%s\n", line.c_str());
+  std::fclose(to_child);
+
+  bool load_ok = false;
+  bool shutdown_ok = false;
+  uint64_t predict_ok = 0;
+  uint64_t predict_failed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t with_prediction = 0;
+  char buffer[1 << 16];
+  while (std::fgets(buffer, sizeof(buffer), from_child) != nullptr) {
+    const std::string line(buffer);
+    if (Contains(line, "\"op\":\"load\"")) {
+      load_ok = Contains(line, "\"ok\":true");
+      if (!load_ok) std::fprintf(stderr, "load failed: %s", line.c_str());
+    } else if (Contains(line, "\"op\":\"predict\"")) {
+      if (Contains(line, "\"ok\":true")) {
+        ++predict_ok;
+      } else {
+        ++predict_failed;
+        std::fprintf(stderr, "predict failed: %s", line.c_str());
+      }
+      if (Contains(line, "\"cache\":\"hit\"")) ++cache_hits;
+      if (Contains(line, "\"avg_leaf_accesses\":")) ++with_prediction;
+    } else if (Contains(line, "\"op\":\"stats\"")) {
+      std::printf("stats: %s", line.c_str());
+    } else if (Contains(line, "\"op\":\"shutdown\"")) {
+      shutdown_ok = Contains(line, "\"ok\":true");
+    } else if (Contains(line, "\"op\":\"error\"")) {
+      std::fprintf(stderr, "protocol error: %s", line.c_str());
+    }
+  }
+  std::fclose(from_child);
+
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "error: server exited uncleanly (status %d)\n",
+                 status);
+    return 1;
+  }
+
+  const uint64_t expected =
+      spec.requests * (spec.repeat ? 2 : 1);
+  std::printf("session: %llu/%llu predictions ok, %llu cache hits, "
+              "load %s, shutdown %s\n",
+              static_cast<unsigned long long>(predict_ok),
+              static_cast<unsigned long long>(expected),
+              static_cast<unsigned long long>(cache_hits),
+              load_ok ? "ok" : "FAILED", shutdown_ok ? "clean" : "MISSING");
+
+  const bool healthy = load_ok && shutdown_ok && predict_failed == 0 &&
+                       predict_ok == expected &&
+                       with_prediction == expected &&
+                       (!spec.repeat || cache_hits >= spec.requests);
+  if (!healthy) {
+    std::fprintf(stderr, "error: unhealthy session\n");
+    return 1;
+  }
+  return 0;
+}

@@ -17,21 +17,33 @@
 #include "data/generators.h"
 #include "flags.h"
 
+constexpr char kUsage[] =
+    "usage: hdidx_gen --out FILE --kind KIND [--n N] [--seed S]\n"
+    "                 [--dim D] [--clusters C] [--intrinsic I] [--noise F]\n"
+    "                 [--threads T]\n"
+    "       kinds: color64 texture48 texture60 landsat "
+    "isolet617 stock360 uniform clustered\n";
+
 int main(int argc, char** argv) {
   using namespace hdidx;
-  const tools::Flags flags(argc, argv);
+  const tools::Flags flags(argc, argv,
+                           {"out", "kind", "n", "seed", "dim", "clusters",
+                            "intrinsic", "noise", "threads"});
+  flags.ExitOnError(kUsage);
   tools::ApplyThreadsFlag(flags);
 
   const std::string out = flags.GetString("out", "");
   const std::string kind = flags.GetString("kind", "texture60");
   const size_t n = flags.GetUint("n", 0);
   const uint64_t seed = flags.GetUint("seed", 1);
+  const size_t uniform_dim = flags.GetUint("dim", 8);
+  const size_t clustered_dim = flags.GetUint("dim", 16);
+  const size_t clusters = flags.GetUint("clusters", 20);
+  const double intrinsic = flags.GetDouble("intrinsic", 6.0);
+  const double noise = flags.GetDouble("noise", 0.02);
+  flags.ExitOnError(kUsage);
   if (out.empty()) {
-    std::fprintf(stderr,
-                 "usage: hdidx_gen --out FILE --kind KIND [--n N] [--seed S]\n"
-                 "                 [--threads T]\n"
-                 "       kinds: color64 texture48 texture60 landsat "
-                 "isolet617 stock360 uniform clustered\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
@@ -48,16 +60,15 @@ int main(int argc, char** argv) {
     dataset = data::Stock360Surrogate(n, seed);
   } else if (kind == "uniform") {
     common::Rng rng(seed);
-    dataset = data::GenerateUniform(n != 0 ? n : 100000,
-                                    flags.GetUint("dim", 8), &rng);
+    dataset = data::GenerateUniform(n != 0 ? n : 100000, uniform_dim, &rng);
   } else if (kind == "clustered") {
     common::Rng rng(seed);
     data::ClusteredConfig config;
     config.num_points = n != 0 ? n : 100000;
-    config.dim = flags.GetUint("dim", 16);
-    config.num_clusters = flags.GetUint("clusters", 20);
-    config.intrinsic_dim = flags.GetDouble("intrinsic", 6.0);
-    config.noise_fraction = flags.GetDouble("noise", 0.02);
+    config.dim = clustered_dim;
+    config.num_clusters = clusters;
+    config.intrinsic_dim = intrinsic;
+    config.noise_fraction = noise;
     dataset = data::GenerateClustered(config, &rng);
   } else {
     std::fprintf(stderr, "unknown kind: %s\n", kind.c_str());

@@ -35,12 +35,19 @@
 
 int main(int argc, char** argv) {
   using namespace hdidx;
-  const tools::Flags flags(argc, argv);
+  const tools::Flags flags(
+      argc, argv,
+      {"data", "method", "memory", "h-upper", "queries", "k", "page-bytes",
+       "seed", "threads", "measure", "confidence-runs", "csv-header",
+       "csv-skip-columns"});
+  flags.ExitOnError("usage: hdidx_predict --data FILE [options]\n");
   // Size the shared pool before any prediction work; results are identical
   // for every thread count (see README "Parallel execution").
   tools::ApplyThreadsFlag(flags);
 
   const std::string path = flags.GetString("data", "");
+  const bool measure = flags.GetBool("measure");
+  const size_t ci_runs = flags.GetUint("confidence-runs", 0);
   if (path.empty()) {
     std::fprintf(stderr, "usage: hdidx_predict --data FILE [options]\n");
     return 2;
@@ -53,6 +60,7 @@ int main(int argc, char** argv) {
     data::CsvOptions csv;
     csv.has_header = flags.GetBool("csv-header");
     csv.skip_columns = flags.GetUint("csv-skip-columns", 0);
+    flags.ExitOnError();
     loaded = data::ReadCsv(path, csv, &error);
   } else {
     loaded = data::ReadDataset(path, &error);
@@ -76,6 +84,7 @@ int main(int argc, char** argv) {
       flags.GetUint("h-upper", topology.height() >= 3
                                    ? core::ChooseHupper(topology, memory)
                                    : 2);
+  flags.ExitOnError();
 
   std::printf("dataset:  %zu points x %zu dims (%s)\n", dataset.size(),
               dataset.dim(), path.c_str());
@@ -125,7 +134,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.io.page_transfers),
               result.io.CostSeconds(disk));
 
-  const size_t ci_runs = flags.GetUint("confidence-runs", 0);
   if (ci_runs >= 2) {
     const auto ci = core::EstimateWithConfidence(
         [&](uint64_t s) { return predict_once(s).avg_leaf_accesses; },
@@ -134,7 +142,7 @@ int main(int argc, char** argv) {
                 ci.runs, ci.mean, ci.hi - ci.mean, ci.lo, ci.hi);
   }
 
-  if (flags.GetBool("measure")) {
+  if (measure) {
     std::printf("\nbuilding the on-disk index for ground truth...\n");
     io::PagedFile file = io::PagedFile::FromDataset(dataset, disk);
     index::ExternalBuildOptions build;

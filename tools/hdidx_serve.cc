@@ -1,0 +1,85 @@
+// hdidx_serve: a long-running sharded prediction server speaking
+// line-delimited JSON over stdin/stdout (see src/service/protocol.h).
+//
+// Usage:
+//   hdidx_serve [--shards 2] [--threads 8] [--cache-entries 64]
+//               [--workload-cache-entries 32]
+//               [--preload name=path[,name=path...]]
+//
+// Datasets are loaded once (at startup via --preload, or at runtime via
+// {"op":"load",...}) and pinned; consecutive predict lines form a batch,
+// flushed by a blank line, a non-predict op, or EOF. Responses are one JSON
+// line each, in request order. {"op":"shutdown"} (or EOF) exits cleanly.
+//
+// Example session:
+//   $ hdidx_serve --shards 2 <<'EOF'
+//   {"op":"load","dataset":"d","path":"data.hdx"}
+//   {"op":"predict","dataset":"d","method":"resampled","memory":1000,"k":5}
+//   {"op":"predict","dataset":"d","method":"resampled","memory":1000,"k":5}
+//
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//   EOF
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "flags.h"
+#include "service/prediction_service.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+constexpr char kUsage[] =
+    "usage: hdidx_serve [--shards N] [--threads T] [--cache-entries E]\n"
+    "                   [--workload-cache-entries E]\n"
+    "                   [--preload name=path[,name=path...]]\n";
+
+int main(int argc, char** argv) {
+  using namespace hdidx;
+  const tools::Flags flags(argc, argv,
+                           {"shards", "threads", "cache-entries",
+                            "workload-cache-entries", "preload"});
+
+  service::ServiceOptions options;
+  options.num_shards = flags.GetUint("shards", 1);
+  options.total_threads = flags.GetUint("threads", 0);
+  options.result_cache_entries = flags.GetUint("cache-entries", 64);
+  options.workload_cache_entries =
+      flags.GetUint("workload-cache-entries", 32);
+  const std::string preload = flags.GetString("preload", "");
+  flags.ExitOnError(kUsage);
+
+  service::PredictionService svc(options);
+
+  // --preload name=path[,name=path...]: load before announcing readiness so
+  // the first request never pays a dataset load.
+  size_t start = 0;
+  while (start < preload.size()) {
+    size_t comma = preload.find(',', start);
+    if (comma == std::string::npos) comma = preload.size();
+    const std::string item = preload.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "error: --preload item '%s' is not name=path\n",
+                   item.c_str());
+      return 2;
+    }
+    std::string error;
+    if (!svc.registry().LoadFile(item.substr(0, eq), item.substr(eq + 1),
+                                 &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  std::cout << "{\"op\":\"ready\",\"shards\":" << svc.num_shards()
+            << ",\"threads_per_shard\":" << svc.threads_per_shard()
+            << ",\"datasets\":" << svc.registry().size() << "}\n";
+  std::cout.flush();
+
+  service::RunServer(std::cin, std::cout, &svc);
+  return 0;
+}
