@@ -1,8 +1,8 @@
 #include "apps/dim_selector.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "core/hupper.h"
 #include "geometry/distance.h"
 #include "core/mini_index.h"
@@ -17,7 +17,7 @@ namespace hdidx::apps {
 
 std::vector<DimPoint> EvaluateIndexDims(const data::Dataset& data,
                                         const DimSelectorConfig& config) {
-  assert(!data.empty());
+  HDIDX_CHECK(!data.empty());
   common::Rng rng(config.seed);
   // Full-space workload: the multi-step filter radius is the exact k-NN
   // distance in the original space.
@@ -41,7 +41,7 @@ std::vector<DimPoint> EvaluateIndexDims(const data::Dataset& data,
       static_cast<double>(sample.size()) / static_cast<double>(data.size());
 
   for (size_t d_index : config.index_dims) {
-    assert(d_index >= 1 && d_index <= data.dim());
+    HDIDX_CHECK(d_index >= 1 && d_index <= data.dim());
     const data::Dataset projected = data.ProjectPrefix(d_index);
     const data::Dataset projected_queries =
         full_workload.queries().ProjectPrefix(d_index);

@@ -1,11 +1,11 @@
 #include "apps/multistep_knn.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <queue>
 
+#include "common/check.h"
 #include "geometry/distance.h"
 
 namespace hdidx::apps {
@@ -88,10 +88,10 @@ MultiStepResult MultiStepKnn(const index::RTree& index_tree,
                              const data::Dataset& projected,
                              const data::Dataset& full,
                              std::span<const float> query_full, size_t k) {
-  assert(k >= 1);
-  assert(projected.size() == full.size());
-  assert(projected.dim() <= full.dim());
-  assert(query_full.size() == full.dim());
+  HDIDX_CHECK(k >= 1);
+  HDIDX_CHECK(projected.size() == full.size());
+  HDIDX_CHECK(projected.dim() <= full.dim());
+  HDIDX_CHECK(query_full.size() == full.dim());
 
   const std::span<const float> query_reduced =
       query_full.subspan(0, projected.dim());

@@ -1,8 +1,8 @@
 #include "apps/page_size_tuner.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "core/hupper.h"
 #include "core/mini_index.h"
 #include "core/resampled.h"
@@ -16,7 +16,7 @@ namespace hdidx::apps {
 
 std::vector<PageSizePoint> TunePageSize(const data::Dataset& data,
                                         const PageSizeTunerConfig& config) {
-  assert(!data.empty());
+  HDIDX_CHECK(!data.empty());
   common::Rng rng(config.seed);
   // The k-NN spheres depend only on the data, not on the page size: one
   // workload serves the whole sweep.
@@ -79,7 +79,7 @@ std::vector<PageSizePoint> TunePageSize(const data::Dataset& data,
 }
 
 size_t BestPageSize(const std::vector<PageSizePoint>& points, bool measured) {
-  assert(!points.empty());
+  HDIDX_CHECK(!points.empty());
   const PageSizePoint* best = &points[0];
   for (const auto& p : points) {
     const double cost = measured ? p.measured_cost_s : p.predicted_cost_s;

@@ -1,10 +1,10 @@
 #include "baselines/fractal.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/stats.h"
 #include "geometry/bounding_box.h"
 
@@ -27,8 +27,8 @@ uint64_t Mix(uint64_t x) {
 
 FractalDimensions EstimateFractalDimensions(const data::Dataset& data,
                                             int max_levels) {
-  assert(!data.empty());
-  assert(max_levels >= 2);
+  HDIDX_CHECK(!data.empty());
+  HDIDX_CHECK(max_levels >= 2);
   const size_t n = data.size();
   const size_t d = data.dim();
 
@@ -111,8 +111,8 @@ FractalDimensions EstimateFractalDimensions(const data::Dataset& data,
 
 FractalModelResult PredictFractalModel(const FractalDimensions& dims,
                                        const FractalModelParams& params) {
-  assert(params.num_points > 1);
-  assert(params.num_leaf_pages > 0);
+  HDIDX_CHECK(params.num_points > 1);
+  HDIDX_CHECK(params.num_leaf_pages > 0);
   FractalModelResult result;
 
   const double n = static_cast<double>(params.num_points);

@@ -1,15 +1,16 @@
 #include "baselines/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace hdidx::baselines {
 
 GridHistogram::GridHistogram(const data::Dataset& data, size_t bucket_budget)
     : dim_(data.dim()), bounds_(data.Bounds()) {
-  assert(!data.empty());
-  assert(bucket_budget >= 1);
+  HDIDX_CHECK(!data.empty());
+  HDIDX_CHECK(bucket_budget >= 1);
   // Per-dimension resolution from the budget; collapses to 1 in high d.
   resolution_ = std::max<size_t>(
       1, static_cast<size_t>(std::floor(std::pow(

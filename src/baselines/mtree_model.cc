@@ -1,9 +1,9 @@
 #include "baselines/mtree_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "geometry/distance.h"
 
 namespace hdidx::baselines {
@@ -11,8 +11,8 @@ namespace hdidx::baselines {
 DistanceDistribution::DistanceDistribution(const data::Dataset& data,
                                            size_t num_pairs,
                                            common::Rng* rng) {
-  assert(data.size() >= 2);
-  assert(num_pairs >= 1);
+  HDIDX_CHECK(data.size() >= 2);
+  HDIDX_CHECK(num_pairs >= 1);
   distances_.reserve(num_pairs);
   for (size_t i = 0; i < num_pairs; ++i) {
     const size_t a = static_cast<size_t>(rng->NextBounded(data.size()));
@@ -41,7 +41,7 @@ double DistanceDistribution::Quantile(double q) const {
 }
 
 double DistanceDistribution::ExpectedKnnRadius(size_t k, size_t n) const {
-  assert(n >= 2);
+  HDIDX_CHECK(n >= 2);
   return Quantile(static_cast<double>(k) / static_cast<double>(n - 1));
 }
 

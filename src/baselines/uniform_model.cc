@@ -1,17 +1,17 @@
 #include "baselines/uniform_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "geometry/distance.h"
 
 namespace hdidx::baselines {
 
 UniformModelResult PredictUniformModel(const UniformModelParams& params) {
-  assert(params.num_points > 0);
-  assert(params.dim > 0);
-  assert(params.num_leaf_pages > 0);
+  HDIDX_CHECK(params.num_points > 0);
+  HDIDX_CHECK(params.dim > 0);
+  HDIDX_CHECK(params.num_leaf_pages > 0);
   UniformModelResult result;
 
   const double n = static_cast<double>(params.num_points);

@@ -1,0 +1,52 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hdidx::common {
+namespace {
+
+void DefaultCheckFailureHandler(const std::string& message) {
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// The one mutable global of the check library (hdidx-lint: allow-global).
+// Atomic so tests can swap handlers while worker threads run checks.
+std::atomic<CheckFailureHandler> g_check_failure_handler{
+    &DefaultCheckFailureHandler};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &DefaultCheckFailureHandler;
+  return g_check_failure_handler.exchange(handler);
+}
+
+namespace internal {
+
+void CheckFail(const std::string& message) {
+  g_check_failure_handler.load()(message);
+  // A conforming handler never returns; guarantee the [[noreturn]] contract
+  // even against one that does.
+  std::abort();
+}
+
+CheckFailureStream::CheckFailureStream(const char* file, int line,
+                                       const char* expression) {
+  stream_ << file << ":" << line << ": " << expression << " failed: ";
+}
+
+CheckFailureStream::CheckFailureStream(const char* file, int line,
+                                       const char* expression,
+                                       const std::string& operands) {
+  stream_ << file << ":" << line << ": " << expression << " failed ["
+          << operands << "]: ";
+}
+
+CheckFailureStream::~CheckFailureStream() { CheckFail(stream_.str()); }
+
+}  // namespace internal
+}  // namespace hdidx::common

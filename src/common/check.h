@@ -1,0 +1,104 @@
+#ifndef HDIDX_COMMON_CHECK_H_
+#define HDIDX_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace hdidx::common {
+
+/// Called with the fully formatted failure message when a check fails. The
+/// handler must not return; if it does, the library aborts anyway. The
+/// default handler writes the message to stderr and calls std::abort(),
+/// which is what the death tests in tests/check_test.cc assert on.
+using CheckFailureHandler = void (*)(const std::string& message);
+
+/// Installs `handler` process-wide and returns the previous one. Pass
+/// nullptr to restore the default stderr+abort handler. Thread-safe.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+namespace internal {
+
+/// Invokes the installed failure handler (aborting if it ever returns).
+[[noreturn]] void CheckFail(const std::string& message);
+
+/// Collects the failure message for one failed check. The destructor fires
+/// the handler, so streamed `<<` context added after the macro lands in the
+/// message before the process dies.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* expression);
+  CheckFailureStream(const char* file, int line, const char* expression,
+                     const std::string& operands);
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+  ~CheckFailureStream();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Makes the ternary in HDIDX_CHECK type-check: `&` binds looser than `<<`,
+/// so the whole streamed chain collapses to void to match the true branch.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+/// Renders "lhs vs rhs" for HDIDX_CHECK_OP failures. Takes the operands by
+/// value so the macro evaluates each exactly once.
+template <typename A, typename B>
+std::string FormatOperands(const A& a, const B& b) {
+  std::ostringstream out;
+  out << a << " vs " << b;
+  return out.str();
+}
+
+}  // namespace internal
+}  // namespace hdidx::common
+
+/// HDIDX_CHECK(cond): aborts (via the failure handler) with file:line and
+/// the stringified condition when `cond` is false. Stays on in every build
+/// type, including the default RelWithDebInfo (which defines NDEBUG and
+/// silently compiled out the bare assert() calls this library replaced).
+/// Extra context streams in: HDIDX_CHECK(n > 0) << "n=" << n;
+#define HDIDX_CHECK(cond)                                          \
+  (cond) ? (void)0                                                 \
+         : ::hdidx::common::internal::Voidify() &                  \
+               ::hdidx::common::internal::CheckFailureStream(      \
+                   __FILE__, __LINE__, "HDIDX_CHECK(" #cond ")")   \
+                   .stream()
+
+/// HDIDX_CHECK_OP(==, a, b): like HDIDX_CHECK(a == b) but the failure
+/// message includes both operand values. Operands are evaluated once.
+#define HDIDX_CHECK_OP(op, lhs, rhs)                                        \
+  switch (0)                                                                \
+  case 0:                                                                   \
+  default:                                                                  \
+    if (const auto& hdidx_check_vals_ =                                     \
+            ::std::pair((lhs), (rhs));                                      \
+        hdidx_check_vals_.first op hdidx_check_vals_.second) {              \
+    } else                                                                  \
+      ::hdidx::common::internal::Voidify() &                                \
+          ::hdidx::common::internal::CheckFailureStream(                    \
+              __FILE__, __LINE__,                                           \
+              "HDIDX_CHECK_OP(" #lhs " " #op " " #rhs ")",                  \
+              ::hdidx::common::internal::FormatOperands(                    \
+                  hdidx_check_vals_.first, hdidx_check_vals_.second))       \
+              .stream()
+
+/// HDIDX_DCHECK / HDIDX_DCHECK_OP: debug-only twins for per-element checks
+/// on hot paths (distance kernels, row accessors). Compiled out under
+/// NDEBUG, but the condition stays syntactically checked so variables it
+/// mentions never become "unused".
+#ifdef NDEBUG
+#define HDIDX_DCHECK(cond) \
+  while (false) HDIDX_CHECK(cond)
+#define HDIDX_DCHECK_OP(op, lhs, rhs) \
+  while (false) HDIDX_CHECK_OP(op, lhs, rhs)
+#else
+#define HDIDX_DCHECK(cond) HDIDX_CHECK(cond)
+#define HDIDX_DCHECK_OP(op, lhs, rhs) HDIDX_CHECK_OP(op, lhs, rhs)
+#endif
+
+#endif  // HDIDX_COMMON_CHECK_H_

@@ -1,7 +1,8 @@
 #include "common/random.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace hdidx::common {
 
@@ -44,7 +45,7 @@ uint64_t Rng::NextU64() {
 }
 
 uint64_t Rng::NextBounded(uint64_t bound) {
-  assert(bound > 0);
+  HDIDX_CHECK(bound > 0);
   // Rejection sampling on the top of the range removes modulo bias.
   const uint64_t threshold = -bound % bound;
   for (;;) {

@@ -1,13 +1,14 @@
 #include "common/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace hdidx::common {
 
 LineFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
-  assert(x.size() == y.size());
+  HDIDX_CHECK(x.size() == y.size());
   LineFit fit;
   fit.n = x.size();
   if (fit.n < 2) return fit;
@@ -47,7 +48,7 @@ double Variance(const std::vector<double>& v) {
 
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y) {
-  assert(x.size() == y.size());
+  HDIDX_CHECK(x.size() == y.size());
   if (x.size() < 2) return 0.0;
   const double mx = Mean(x);
   const double my = Mean(y);

@@ -1,9 +1,10 @@
 #include "core/confidence.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <vector>
+
+#include "common/check.h"
 
 namespace hdidx::core {
 
@@ -30,7 +31,7 @@ constexpr double kT99[] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
 }  // namespace
 
 double StudentTCritical(size_t runs, double confidence) {
-  assert(runs >= 2);
+  HDIDX_CHECK(runs >= 2);
   const size_t df = runs - 1;
   const double* table;
   double normal;
@@ -51,7 +52,7 @@ double StudentTCritical(size_t runs, double confidence) {
 ConfidenceInterval EstimateWithConfidence(
     const std::function<double(uint64_t)>& predict, size_t runs,
     uint64_t base_seed, double confidence) {
-  assert(runs >= 2);
+  HDIDX_CHECK(runs >= 2);
   std::vector<double> values(runs);
   for (size_t r = 0; r < runs; ++r) {
     values[r] = predict(base_seed + r);

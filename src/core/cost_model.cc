@@ -1,7 +1,6 @@
 #include "core/cost_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <vector>
 

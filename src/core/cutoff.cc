@@ -1,9 +1,9 @@
 #include "core/cutoff.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "core/compensation.h"
 #include "core/hupper.h"
 
@@ -93,8 +93,8 @@ PredictionResult PredictWithCutoffTree(io::PagedFile* file,
                                        const workload::QueryRegions& queries,
                                        const CutoffParams& params,
                                        const common::ExecutionContext& ctx) {
-  assert(params.memory_points > 0);
-  assert(params.h_upper >= 1 && params.h_upper < topology.height());
+  HDIDX_CHECK(params.memory_points > 0);
+  HDIDX_CHECK(params.h_upper >= 1 && params.h_upper < topology.height());
 
   PredictionResult result;
   result.h_upper = params.h_upper;

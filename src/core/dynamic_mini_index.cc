@@ -1,9 +1,9 @@
 #include "core/dynamic_mini_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "core/compensation.h"
 
 namespace hdidx::core {
@@ -13,7 +13,7 @@ PredictionResult PredictDynamicRStar(const data::Dataset& data,
                                      const workload::QueryRegions& queries,
                                      const DynamicMiniIndexParams& params,
                                      const common::ExecutionContext& ctx) {
-  assert(params.sampling_fraction > 0.0 && params.sampling_fraction <= 1.0);
+  HDIDX_CHECK(params.sampling_fraction > 0.0 && params.sampling_fraction <= 1.0);
   PredictionResult result;
   result.sigma_upper = params.sampling_fraction;
 

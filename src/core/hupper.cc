@@ -1,14 +1,15 @@
 #include "core/hupper.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "common/check.h"
 
 namespace hdidx::core {
 
 size_t StopLevel(const index::TreeTopology& topology, size_t h_upper) {
-  assert(h_upper >= 1 && h_upper <= topology.height());
+  HDIDX_CHECK(h_upper >= 1 && h_upper <= topology.height());
   return topology.height() - h_upper + 1;
 }
 

@@ -1,8 +1,8 @@
 #include "core/mini_index.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "core/compensation.h"
 #include "index/bulk_loader.h"
 
@@ -11,7 +11,7 @@ namespace hdidx::core {
 std::vector<geometry::BoundingBox> BuildGrownMiniIndexLeaves(
     const data::Dataset& data, const index::TreeTopology& topology,
     const MiniIndexParams& params) {
-  assert(params.sampling_fraction > 0.0 && params.sampling_fraction <= 1.0);
+  HDIDX_CHECK(params.sampling_fraction > 0.0 && params.sampling_fraction <= 1.0);
 
   // Draw the uniform sample.
   common::Rng rng(params.seed);

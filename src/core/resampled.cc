@@ -1,11 +1,11 @@
 #include "core/resampled.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "common/check.h"
 #include "core/compensation.h"
 #include "core/hupper.h"
 #include "geometry/distance.h"
@@ -52,8 +52,8 @@ PredictionResult PredictWithResampledTree(
     io::PagedFile* file, const index::TreeTopology& topology,
     const workload::QueryRegions& queries, const ResampledParams& params,
     const common::ExecutionContext& ctx) {
-  assert(params.memory_points > 0);
-  assert(params.h_upper >= 1 && params.h_upper < topology.height());
+  HDIDX_CHECK(params.memory_points > 0);
+  HDIDX_CHECK(params.h_upper >= 1 && params.h_upper < topology.height());
 
   PredictionResult result;
   result.h_upper = params.h_upper;

@@ -1,9 +1,9 @@
 #include "core/sstree_predict.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "index/bulk_loader.h"
 #include "index/sstree.h"
 
@@ -48,7 +48,7 @@ SsTreePredictionResult PredictSsTreeWithMiniIndex(
     const data::Dataset& data, const index::TreeTopology& topology,
     const workload::QueryWorkload& workload, const MiniIndexParams& params,
     const common::ExecutionContext& ctx) {
-  assert(params.sampling_fraction > 0.0 && params.sampling_fraction <= 1.0);
+  HDIDX_CHECK(params.sampling_fraction > 0.0 && params.sampling_fraction <= 1.0);
   common::Rng rng(params.seed);
   const size_t sample_size = std::max<size_t>(
       1, static_cast<size_t>(static_cast<double>(data.size()) *

@@ -1,24 +1,24 @@
 #include "data/dataset.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace hdidx::data {
 
-Dataset::Dataset(size_t dim) : dim_(dim), size_(0) { assert(dim > 0); }
+Dataset::Dataset(size_t dim) : dim_(dim), size_(0) { HDIDX_CHECK(dim > 0); }
 
 Dataset::Dataset(size_t n, size_t dim)
     : dim_(dim), size_(n), values_(n * dim, 0.0f) {
-  assert(dim > 0);
+  HDIDX_CHECK(dim > 0);
 }
 
 Dataset::Dataset(std::vector<float> values, size_t dim)
     : dim_(dim), size_(values.size() / dim), values_(std::move(values)) {
-  assert(dim > 0);
-  assert(values_.size() % dim_ == 0);
+  HDIDX_CHECK(dim > 0);
+  HDIDX_CHECK(values_.size() % dim_ == 0);
 }
 
 void Dataset::Append(std::span<const float> point) {
-  assert(point.size() == dim_);
+  HDIDX_CHECK(point.size() == dim_);
   values_.insert(values_.end(), point.begin(), point.end());
   ++size_;
 }
@@ -33,14 +33,14 @@ Dataset Dataset::Select(const std::vector<size_t>& indices) const {
   Dataset out(dim_);
   out.Reserve(indices.size());
   for (size_t i : indices) {
-    assert(i < size_);
+    HDIDX_CHECK(i < size_);
     out.Append(row(i));
   }
   return out;
 }
 
 Dataset Dataset::ProjectPrefix(size_t k) const {
-  assert(k > 0 && k <= dim_);
+  HDIDX_CHECK(k > 0 && k <= dim_);
   Dataset out(k);
   out.Reserve(size_);
   for (size_t i = 0; i < size_; ++i) {

@@ -1,10 +1,10 @@
 #include "data/generators.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <vector>
 
+#include "common/check.h"
 #include "data/transforms.h"
 
 namespace hdidx::data {
@@ -17,8 +17,8 @@ Dataset GenerateUniform(size_t n, size_t dim, common::Rng* rng) {
 }
 
 Dataset GenerateClustered(const ClusteredConfig& config, common::Rng* rng) {
-  assert(config.num_clusters > 0);
-  assert(config.dim > 0);
+  HDIDX_CHECK(config.num_clusters > 0);
+  HDIDX_CHECK(config.dim > 0);
   const size_t d = config.dim;
 
   // Per-dimension scale decays exponentially so the intrinsic
@@ -76,7 +76,7 @@ Dataset GenerateClustered(const ClusteredConfig& config, common::Rng* rng) {
 }
 
 Dataset GenerateLine(size_t n, size_t dim, double jitter, common::Rng* rng) {
-  assert(dim > 0);
+  HDIDX_CHECK(dim > 0);
   // A fixed random direction through the cube center.
   std::vector<double> direction(dim);
   double norm = 0.0;

@@ -1,16 +1,17 @@
 #include "data/transforms.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "common/check.h"
 
 namespace hdidx::data {
 
 void JacobiEigenSymmetric(std::vector<double> a, size_t n,
                           std::vector<double>* eigenvalues,
                           std::vector<double>* eigenvectors) {
-  assert(a.size() == n * n);
+  HDIDX_CHECK(a.size() == n * n);
   // v starts as the identity and accumulates the rotations; its columns are
   // the eigenvectors of the original matrix.
   std::vector<double> v(n * n, 0.0);
@@ -90,7 +91,7 @@ void JacobiEigenSymmetric(std::vector<double> a, size_t n,
 KltTransform KltTransform::Fit(const Dataset& data) {
   const size_t n = data.size();
   const size_t d = data.dim();
-  assert(n >= 2);
+  HDIDX_CHECK(n >= 2);
 
   KltTransform t;
   t.mean_.assign(d, 0.0);
@@ -124,7 +125,7 @@ KltTransform KltTransform::Fit(const Dataset& data) {
 
 Dataset KltTransform::Apply(const Dataset& data) const {
   const size_t d = dim();
-  assert(data.dim() == d);
+  HDIDX_CHECK(data.dim() == d);
   Dataset out(data.size(), d);
   std::vector<double> centered(d);
   for (size_t i = 0; i < data.size(); ++i) {

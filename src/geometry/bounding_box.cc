@@ -1,7 +1,8 @@
 #include "geometry/bounding_box.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace hdidx::geometry {
 
@@ -9,16 +10,18 @@ BoundingBox::BoundingBox(size_t dim) : lo_(dim), hi_(dim), empty_(true) {}
 
 BoundingBox::BoundingBox(std::vector<float> lo, std::vector<float> hi)
     : lo_(std::move(lo)), hi_(std::move(hi)), empty_(false) {
-  assert(lo_.size() == hi_.size());
-#ifndef NDEBUG
-  for (size_t d = 0; d < lo_.size(); ++d) assert(lo_[d] <= hi_[d]);
-#endif
+  HDIDX_CHECK_OP(==, lo_.size(), hi_.size());
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    HDIDX_CHECK(lo_[d] <= hi_[d])
+        << "inverted box in dimension " << d << ": lo=" << lo_[d]
+        << " hi=" << hi_[d];
+  }
 }
 
 void BoundingBox::Clear() { empty_ = true; }
 
 void BoundingBox::Extend(std::span<const float> point) {
-  assert(point.size() == lo_.size());
+  HDIDX_DCHECK(point.size() == lo_.size());
   if (empty_) {
     std::copy(point.begin(), point.end(), lo_.begin());
     std::copy(point.begin(), point.end(), hi_.begin());
@@ -32,7 +35,7 @@ void BoundingBox::Extend(std::span<const float> point) {
 }
 
 void BoundingBox::ExtendBox(const BoundingBox& other) {
-  assert(other.dim() == dim());
+  HDIDX_CHECK(other.dim() == dim());
   if (other.empty_) return;
   if (empty_) {
     lo_ = other.lo_;
@@ -74,7 +77,7 @@ float BoundingBox::Center(size_t d) const {
 }
 
 bool BoundingBox::Contains(std::span<const float> point) const {
-  assert(point.size() == lo_.size());
+  HDIDX_DCHECK(point.size() == lo_.size());
   if (empty_) return false;
   for (size_t d = 0; d < lo_.size(); ++d) {
     if (point[d] < lo_[d] || point[d] > hi_[d]) return false;
@@ -83,7 +86,7 @@ bool BoundingBox::Contains(std::span<const float> point) const {
 }
 
 bool BoundingBox::Intersects(const BoundingBox& other) const {
-  assert(other.dim() == dim());
+  HDIDX_CHECK(other.dim() == dim());
   if (empty_ || other.empty_) return false;
   for (size_t d = 0; d < lo_.size(); ++d) {
     if (lo_[d] > other.hi_[d] || other.lo_[d] > hi_[d]) return false;
@@ -92,7 +95,7 @@ bool BoundingBox::Intersects(const BoundingBox& other) const {
 }
 
 void BoundingBox::InflateAboutCenter(double factor) {
-  assert(factor >= 0.0);
+  HDIDX_CHECK(factor >= 0.0);
   if (empty_) return;
   for (size_t d = 0; d < lo_.size(); ++d) {
     const double c = 0.5 * (static_cast<double>(lo_[d]) + hi_[d]);
@@ -123,7 +126,7 @@ BoundingBox BoundingBox::Union(const BoundingBox& a, const BoundingBox& b) {
 
 BoundingBox BoundingBox::OfPoints(std::span<const float> points, size_t count,
                                   size_t dim) {
-  assert(points.size() >= count * dim);
+  HDIDX_CHECK(points.size() >= count * dim);
   BoundingBox box(dim);
   for (size_t i = 0; i < count; ++i) {
     box.Extend(points.subspan(i * dim, dim));

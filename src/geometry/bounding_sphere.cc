@@ -1,18 +1,19 @@
 #include "geometry/bounding_sphere.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace hdidx::geometry {
 
 BoundingSphere::BoundingSphere(size_t dim) : center_(dim, 0.0f) {
-  assert(dim > 0);
+  HDIDX_CHECK(dim > 0);
 }
 
 BoundingSphere::BoundingSphere(std::vector<float> center, double radius)
     : center_(std::move(center)), radius_(radius), empty_(false) {
-  assert(radius >= 0.0);
+  HDIDX_CHECK(radius >= 0.0);
 }
 
 BoundingSphere BoundingSphere::OfPoints(std::span<const float> points,
@@ -43,7 +44,7 @@ BoundingSphere BoundingSphere::OfPoints(std::span<const float> points,
 }
 
 double BoundingSphere::MinDist(std::span<const float> point) const {
-  assert(point.size() == center_.size());
+  HDIDX_CHECK(point.size() == center_.size());
   if (empty_) return std::numeric_limits<double>::infinity();
   double s = 0.0;
   for (size_t k = 0; k < center_.size(); ++k) {
@@ -59,7 +60,7 @@ bool BoundingSphere::IntersectsSphere(std::span<const float> center,
 }
 
 void BoundingSphere::InflateRadius(double factor) {
-  assert(factor >= 0.0);
+  HDIDX_CHECK(factor >= 0.0);
   radius_ *= factor;
 }
 

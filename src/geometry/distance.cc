@@ -1,13 +1,14 @@
 #include "geometry/distance.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "common/check.h"
 
 namespace hdidx::geometry {
 
 double SquaredL2(std::span<const float> a, std::span<const float> b) {
-  assert(a.size() == b.size());
+  HDIDX_DCHECK(a.size() == b.size());
   double s = 0.0;
   for (size_t d = 0; d < a.size(); ++d) {
     const double diff = static_cast<double>(a[d]) - b[d];
@@ -21,7 +22,7 @@ double L2(std::span<const float> a, std::span<const float> b) {
 }
 
 double SquaredMinDist(std::span<const float> point, const BoundingBox& box) {
-  assert(point.size() == box.dim());
+  HDIDX_DCHECK(point.size() == box.dim());
   if (box.empty()) return std::numeric_limits<double>::infinity();
   double s = 0.0;
   const auto& lo = box.lo();
@@ -43,7 +44,7 @@ double MinDist(std::span<const float> point, const BoundingBox& box) {
 }
 
 double MaxDist(std::span<const float> point, const BoundingBox& box) {
-  assert(point.size() == box.dim());
+  HDIDX_DCHECK(point.size() == box.dim());
   if (box.empty()) return 0.0;
   double s = 0.0;
   const auto& lo = box.lo();

@@ -1,10 +1,10 @@
 #include "index/bulk_loader.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace hdidx::index {
@@ -54,7 +54,7 @@ size_t InMemoryPointSource::MaxVarianceDim(size_t lo, size_t hi) {
 
 void InMemoryPointSource::Partition(size_t lo, size_t hi, size_t pos,
                                     size_t split_dim) {
-  assert(lo < pos && pos < hi);
+  HDIDX_CHECK(lo < pos && pos < hi);
   const data::Dataset& data = *data_;
   std::nth_element(order_.begin() + static_cast<ptrdiff_t>(lo),
                    order_.begin() + static_cast<ptrdiff_t>(pos),
@@ -79,7 +79,7 @@ class Builder {
       : source_(source), options_(options), tree_(tree) {}
 
   uint32_t BuildNode(size_t level, size_t lo, size_t hi) {
-    assert(hi > lo);
+    HDIDX_CHECK(hi > lo);
     if (level == options_.stop_level) {
       return tree_->AddLeaf(source_->ComputeBox(lo, hi),
                             static_cast<uint32_t>(level),
@@ -98,6 +98,12 @@ class Builder {
     std::vector<uint32_t> children;
     children.reserve(fanout);
     SplitRange(level, lo, hi, fanout, child_target, /*depth=*/0, &children);
+    // Fanout audit: the recursive split may merge degenerate partitions but
+    // can never manufacture extra children, and a non-empty range always
+    // yields at least one.
+    HDIDX_CHECK(!children.empty() && children.size() <= fanout)
+        << "level " << level << " produced " << children.size()
+        << " children for target fanout " << fanout;
     return tree_->AddDirectory(static_cast<uint32_t>(level),
                                std::move(children));
   }
@@ -135,11 +141,11 @@ class Builder {
 }  // namespace
 
 RTree BulkLoad(PointSource* source, const BulkLoadOptions& options) {
-  assert(options.topology != nullptr);
-  assert(options.scale > 0.0);
+  HDIDX_CHECK(options.topology != nullptr);
+  HDIDX_CHECK(options.scale > 0.0);
   const size_t root_level =
       options.root_level != 0 ? options.root_level : options.topology->height();
-  assert(options.stop_level >= 1 && options.stop_level <= root_level);
+  HDIDX_CHECK(options.stop_level >= 1 && options.stop_level <= root_level);
 
   RTree tree(source->dim());
   if (source->size() == 0) return tree;
@@ -147,6 +153,17 @@ RTree BulkLoad(PointSource* source, const BulkLoadOptions& options) {
   const uint32_t root = builder.BuildNode(root_level, 0, source->size());
   tree.SetRoot(root);
   source->Finish();
+  // Coverage audit: leaves are appended left to right, so their ranges must
+  // tile [0, N) exactly — every point assigned to exactly one leaf.
+  size_t covered = 0;
+  for (const uint32_t id : tree.leaf_ids()) {
+    const RTreeNode& leaf = tree.node(id);
+    HDIDX_CHECK_OP(==, static_cast<size_t>(leaf.start), covered)
+        << "leaf " << id << " leaves a gap or overlap in point coverage";
+    covered += leaf.count;
+  }
+  HDIDX_CHECK_OP(==, covered, source->size())
+      << "leaves cover the wrong number of points";
   return tree;
 }
 

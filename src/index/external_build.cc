@@ -1,11 +1,12 @@
 #include "index/external_build.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <numeric>
 #include <vector>
+
+#include "common/check.h"
 
 namespace hdidx::index {
 
@@ -19,7 +20,7 @@ class ExternalPointSource : public PointSource {
         scratch_(file->dim(), file->disk()),
         memory_points_(memory_points),
         dim_(file->dim()) {
-    assert(memory_points_ >= 1);
+    HDIDX_CHECK(memory_points_ >= 1);
     buffer_.reserve(memory_points_ * dim_);
   }
 
@@ -57,9 +58,15 @@ class ExternalPointSource : public PointSource {
   }
 
   void Partition(size_t lo, size_t hi, size_t pos, size_t split_dim) override {
-    assert(lo < pos && pos < hi);
+    HDIDX_CHECK(lo < pos && pos < hi);
     if (!WindowCovers(lo, hi) && hi - lo > memory_points_) {
       ExternalSelect(&lo, &hi, pos, split_dim);
+      // The select leaves the range oversized only when every value along
+      // split_dim is (effectively) equal; any ordering is then already a
+      // valid partition, and loading the oversized range would break the
+      // M-point memory model. The NDEBUG seed build used to do exactly
+      // that — this early return keeps EnsureWindow's invariant honest.
+      if (hi - lo > memory_points_) return;
       if (hi - lo <= 1 || pos <= lo || pos >= hi) return;
     }
     EnsureWindow(lo, hi);
@@ -105,7 +112,7 @@ class ExternalPointSource : public PointSource {
 
   /// Loads [lo, hi) into the memory buffer (flushing any previous window).
   void EnsureWindow(size_t lo, size_t hi) {
-    assert(hi - lo <= memory_points_ || WindowCovers(lo, hi));
+    HDIDX_CHECK(hi - lo <= memory_points_ || WindowCovers(lo, hi));
     if (WindowCovers(lo, hi)) return;
     FlushWindow();
     const size_t count = hi - lo;
@@ -240,7 +247,7 @@ class ExternalPointSource : public PointSource {
         high_ptr -= n_highs;
       }
     }
-    assert(low_ptr == high_ptr);
+    HDIDX_CHECK(low_ptr == high_ptr);
     // Copy the partitioned region back: sequential scratch read plus
     // sequential file write.
     const size_t n = hi - lo;
@@ -265,8 +272,8 @@ class ExternalPointSource : public PointSource {
 
 ExternalBuildResult BuildOnDisk(io::PagedFile* file,
                                 const ExternalBuildOptions& options) {
-  assert(options.topology != nullptr);
-  assert(options.memory_points >= options.topology->data_capacity());
+  HDIDX_CHECK(options.topology != nullptr);
+  HDIDX_CHECK(options.memory_points >= options.topology->data_capacity());
   const io::IoStats before = file->stats();
 
   ExternalPointSource source(file, options.memory_points);
@@ -288,6 +295,11 @@ ExternalBuildResult BuildOnDisk(io::PagedFile* file,
   }
 
   result.io += source.TotalIo();
+  // The build can only ever add I/O on top of the file's prior tally;
+  // subtracting a larger "before" means the charging drifted somewhere.
+  HDIDX_CHECK(result.io.page_seeks >= before.page_seeks &&
+              result.io.page_transfers >= before.page_transfers)
+      << "external build under-charged I/O";
   result.io.page_seeks -= before.page_seeks;
   result.io.page_transfers -= before.page_transfers;
   return result;

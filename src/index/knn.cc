@@ -1,15 +1,15 @@
 #include "index/knn.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "geometry/distance.h"
 
 namespace hdidx::index {
 
-KnnHeap::KnnHeap(size_t k) : k_(k) { assert(k > 0); }
+KnnHeap::KnnHeap(size_t k) : k_(k) { HDIDX_CHECK(k > 0); }
 
 void KnnHeap::Push(double squared_distance) {
   if (heap_.size() < k_) {
@@ -124,7 +124,7 @@ std::vector<double> CountSphereLeafAccesses(
     const RTree& tree, const data::Dataset& centers,
     const std::vector<double>& radii, io::IoStats* io,
     const common::ExecutionContext& ctx) {
-  assert(centers.size() == radii.size());
+  HDIDX_CHECK(centers.size() == radii.size());
   const size_t q = centers.size();
   std::vector<double> result(q, 0.0);
   std::vector<uint64_t> total_pages(q, 0);

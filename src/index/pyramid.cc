@@ -1,19 +1,19 @@
 #include "index/pyramid.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <queue>
 
+#include "common/check.h"
 #include "geometry/distance.h"
 
 namespace hdidx::index {
 
 PyramidIndex::PyramidIndex(const data::Dataset* data, size_t page_capacity)
     : data_(data), page_capacity_(page_capacity) {
-  assert(page_capacity_ >= 1);
-  assert(!data_->empty());
+  HDIDX_CHECK(page_capacity_ >= 1);
+  HDIDX_CHECK(!data_->empty());
   const size_t d = data_->dim();
 
   // Normalization into [0,1]^d from the data's bounding box.
@@ -160,7 +160,7 @@ size_t PyramidIndex::RangeQueryPages(std::span<const float> box_lo,
 
 PyramidIndex::SearchResult PyramidIndex::SearchKnn(
     std::span<const float> query, size_t k) const {
-  assert(k >= 1);
+  HDIDX_CHECK(k >= 1);
   const size_t d = data_->dim();
   SearchResult result;
 

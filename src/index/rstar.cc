@@ -1,9 +1,10 @@
 #include "index/rstar.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "common/check.h"
 
 namespace hdidx::index {
 
@@ -43,8 +44,8 @@ double CenterDistanceSq(const geometry::BoundingBox& a,
 
 RStarTree::RStarTree(const data::Dataset* data, const Options& options)
     : data_(data), options_(options) {
-  assert(options_.max_data_entries >= 4);
-  assert(options_.max_dir_entries >= 4);
+  HDIDX_CHECK(options_.max_data_entries >= 4);
+  HDIDX_CHECK(options_.max_dir_entries >= 4);
   nodes_.emplace_back(data_->dim());
   root_ = 0;
   reinserted_at_level_.assign(4, false);
@@ -99,7 +100,7 @@ uint32_t RStarTree::ChooseSubtree(const geometry::BoundingBox& box,
   while (level > target_level) {
     path->push_back(current);
     const Node& node = nodes_[current];
-    assert(!node.is_leaf);
+    HDIDX_CHECK(!node.is_leaf);
     // The O(fanout^2) minimum-overlap rule is only worth its cost at
     // ordinary fanouts; for very wide nodes (X-tree supernodes) fall back
     // to the area-enlargement rule, as production R* implementations do.
@@ -201,7 +202,7 @@ uint32_t RStarTree::SplitNode(uint32_t node_id) {
   Node& node = nodes_[node_id];
   const size_t total = node.entries.size();
   const size_t max_entries = MaxEntries(node);
-  assert(total == max_entries + 1);
+  HDIDX_CHECK(total == max_entries + 1);
   const size_t m = std::max<size_t>(
       1, static_cast<size_t>(options_.min_fill *
                              static_cast<double>(max_entries + 1)));

@@ -1,21 +1,20 @@
 #include "index/rtree.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "geometry/distance.h"
 
 namespace hdidx::index {
 
-RTree::RTree(size_t dim) : dim_(dim) { assert(dim > 0); }
+RTree::RTree(size_t dim) : dim_(dim) { HDIDX_CHECK(dim > 0); }
 
 size_t RTree::root_level() const {
-  assert(!nodes_.empty());
+  HDIDX_CHECK(!nodes_.empty());
   return nodes_[root_].level;
 }
 
 uint32_t RTree::AddLeaf(geometry::BoundingBox box, uint32_t level,
                         uint32_t start, uint32_t count) {
-  assert(box.dim() == dim_);
+  HDIDX_CHECK(box.dim() == dim_);
   RTreeNode node(dim_);
   node.box = std::move(box);
   node.level = level;
@@ -28,11 +27,11 @@ uint32_t RTree::AddLeaf(geometry::BoundingBox box, uint32_t level,
 }
 
 uint32_t RTree::AddDirectory(uint32_t level, std::vector<uint32_t> children) {
-  assert(!children.empty());
+  HDIDX_CHECK(!children.empty());
   RTreeNode node(dim_);
   node.level = level;
   for (uint32_t child : children) {
-    assert(child < nodes_.size());
+    HDIDX_CHECK(child < nodes_.size());
     node.box.ExtendBox(nodes_[child].box);
   }
   node.children = std::move(children);

@@ -1,7 +1,8 @@
 #include "index/topology.h"
 
-#include <cassert>
 #include <limits>
+
+#include "common/check.h"
 
 namespace hdidx::index {
 
@@ -10,15 +11,15 @@ TreeTopology::TreeTopology(size_t num_points, size_t data_capacity,
     : num_points_(num_points),
       data_capacity_(data_capacity),
       dir_capacity_(dir_capacity) {
-  assert(num_points > 0);
-  assert(data_capacity > 0);
-  assert(dir_capacity >= 2);
+  HDIDX_CHECK(num_points > 0);
+  HDIDX_CHECK(data_capacity > 0);
+  HDIDX_CHECK(dir_capacity >= 2);
   height_ = 1;
   // Grow until a single subtree can hold all points, guarding overflow for
   // huge dir capacities.
   size_t cap = data_capacity_;
   while (cap < num_points_) {
-    assert(cap <= std::numeric_limits<size_t>::max() / dir_capacity_);
+    HDIDX_CHECK(cap <= std::numeric_limits<size_t>::max() / dir_capacity_);
     cap *= dir_capacity_;
     ++height_;
   }
@@ -38,7 +39,7 @@ TreeTopology TreeTopology::FromDisk(size_t num_points, size_t dim,
 }
 
 size_t TreeTopology::SubtreeCapacity(size_t level) const {
-  assert(level >= 1 && level <= height_);
+  HDIDX_CHECK(level >= 1 && level <= height_);
   size_t cap = data_capacity_;
   for (size_t l = 2; l <= level; ++l) cap *= dir_capacity_;
   return cap;
@@ -67,7 +68,7 @@ double TreeTopology::EffectiveDirCapacity() const {
 }
 
 size_t TreeTopology::FanoutFor(size_t level, size_t points_in_subtree) const {
-  assert(level >= 2);
+  HDIDX_CHECK(level >= 2);
   const size_t child_cap = SubtreeCapacity(level - 1);
   return (points_in_subtree + child_cap - 1) / child_cap;
 }

@@ -1,22 +1,22 @@
 #include "index/va_file.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <queue>
 
+#include "common/check.h"
 #include "geometry/distance.h"
 
 namespace hdidx::index {
 
 VaFile::VaFile(const data::Dataset* data, const Options& options)
     : data_(data), options_(options) {
-  assert(options_.bits >= 1 && options_.bits <= 16);
+  HDIDX_CHECK(options_.bits >= 1 && options_.bits <= 16);
   slices_ = static_cast<size_t>(1) << options_.bits;
   const size_t n = data_->size();
   const size_t d = data_->dim();
-  assert(n > 0);
+  HDIDX_CHECK(n > 0);
 
   // Equi-populated slice boundaries per dimension (empirical quantiles).
   boundaries_.resize(d);
@@ -94,7 +94,7 @@ double VaFile::UpperBoundSq(std::span<const float> query, size_t row) const {
 
 VaFile::SearchResult VaFile::SearchKnn(std::span<const float> query, size_t k,
                                        const io::DiskModel& disk) const {
-  assert(k > 0);
+  HDIDX_CHECK(k > 0);
   const size_t n = data_->size();
   SearchResult result;
 

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "common/check.h"
+
 namespace hdidx::io {
 
 /// Parameters of the simulated hard disk.
@@ -36,8 +38,13 @@ struct DiskModel {
   /// Number of pages needed to store `n` points of dimensionality `dim`.
   size_t PagesForPoints(size_t n, size_t dim) const;
 
-  /// Seconds for a given number of seeks and page transfers.
+  /// Seconds for a given number of seeks and page transfers. Counts may be
+  /// fractional (expected values) but a negative count always means some
+  /// accounting subtraction drifted.
   double Seconds(double seeks, double transfers) const {
+    HDIDX_CHECK(seeks >= 0.0 && transfers >= 0.0)
+        << "negative I/O counts: seeks=" << seeks
+        << " transfers=" << transfers;
     return seeks * seek_time_s + transfers * transfer_time_s();
   }
 };

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/check.h"
 #include "io/disk_model.h"
 
 namespace hdidx::io {
@@ -40,8 +41,19 @@ struct IoStats {
            a.page_transfers == b.page_transfers;
   }
 
+  /// Audit invariant behind the paper's Table-3 accounting: a seek is only
+  /// ever charged alongside page movement, so seeks can never exceed
+  /// transfers in a consistent tally. Call wherever a tally is consumed;
+  /// a violation means some path double-charged or under-charged.
+  void Validate() const {
+    HDIDX_CHECK(page_seeks <= page_transfers)
+        << "inconsistent I/O tally: " << page_seeks << " seeks > "
+        << page_transfers << " transfers";
+  }
+
   /// Total simulated wall time under the given disk parameters.
   double CostSeconds(const DiskModel& disk) const {
+    Validate();
     return disk.Seconds(static_cast<double>(page_seeks),
                         static_cast<double>(page_transfers));
   }

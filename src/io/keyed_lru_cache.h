@@ -7,6 +7,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/check.h"
+
 namespace hdidx::io {
 
 /// A generic LRU cache from an ordered key to a shared immutable value —
@@ -59,6 +61,7 @@ class KeyedLruCache {
       lru_.pop_back();
       ++evictions_;
     }
+    CheckInvariants();
   }
 
   size_t capacity() const { return capacity_; }
@@ -83,6 +86,14 @@ class KeyedLruCache {
   }
 
  private:
+  /// Structural audit after every mutation: map and recency list agree and
+  /// occupancy respects capacity (the bound Put's eviction loop maintains).
+  void CheckInvariants() const {
+    HDIDX_CHECK_OP(==, map_.size(), lru_.size());
+    HDIDX_CHECK(capacity_ == 0 || map_.size() <= capacity_)
+        << "cache over capacity: " << map_.size() << " > " << capacity_;
+  }
+
   using Entry = std::pair<Key, std::shared_ptr<const Value>>;
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recent

@@ -1,5 +1,7 @@
 #include "io/lru_cache.h"
 
+#include "common/check.h"
+
 namespace hdidx::io {
 
 LruCache::LruCache(size_t capacity_pages) : capacity_(capacity_pages) {}
@@ -10,6 +12,7 @@ bool LruCache::Access(uint64_t page_id) {
     // Hit: move to the front.
     lru_.splice(lru_.begin(), lru_, it->second);
     ++hits_;
+    CheckInvariants();
     return true;
   }
   ++misses_;
@@ -23,7 +26,19 @@ bool LruCache::Access(uint64_t page_id) {
   }
   lru_.push_front(page_id);
   map_[page_id] = lru_.begin();
+  CheckInvariants();
   return false;
+}
+
+void LruCache::CheckInvariants() const {
+  HDIDX_CHECK_OP(==, map_.size(), lru_.size());
+  HDIDX_CHECK(capacity_ == 0 || map_.size() <= capacity_)
+      << "cache over capacity: " << map_.size() << " > " << capacity_;
+  // Every resident page was missed in first, and evictions only ever free
+  // pages that a miss inserted.
+  HDIDX_CHECK(misses_ >= evictions_ + (capacity_ == 0 ? 0 : map_.size()))
+      << "hit/miss bookkeeping drifted: misses=" << misses_
+      << " evictions=" << evictions_ << " resident=" << map_.size();
 }
 
 double LruCache::HitRate() const {

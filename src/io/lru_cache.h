@@ -46,6 +46,10 @@ class LruCache {
   void Clear();
 
  private:
+  /// Structural + bookkeeping audit, run after every mutation: map and list
+  /// agree, occupancy respects capacity, and the counters tally.
+  void CheckInvariants() const;
+
   size_t capacity_;
   std::list<uint64_t> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;

@@ -1,14 +1,15 @@
 #include "io/paged_file.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
+
+#include "common/check.h"
 
 namespace hdidx::io {
 
 PagedFile::PagedFile(size_t dim, const DiskModel& disk)
     : dim_(dim), disk_(disk), points_per_page_(disk.PointsPerPage(dim)) {
-  assert(dim > 0);
+  HDIDX_CHECK(dim > 0);
 }
 
 PagedFile PagedFile::FromDataset(const data::Dataset& data,
@@ -40,14 +41,14 @@ void PagedFile::Charge(size_t start, size_t count) {
 }
 
 void PagedFile::Read(size_t start, size_t count, float* out) {
-  assert(start + count <= num_points_);
+  HDIDX_CHECK(start + count <= num_points_);
   Charge(start, count);
   std::memcpy(out, store_.data() + start * dim_,
               count * dim_ * sizeof(float));
 }
 
 void PagedFile::Write(size_t start, size_t count, const float* src) {
-  assert(start + count <= num_points_);
+  HDIDX_CHECK(start + count <= num_points_);
   Charge(start, count);
   std::memcpy(store_.data() + start * dim_, src,
               count * dim_ * sizeof(float));
@@ -60,7 +61,7 @@ data::Dataset PagedFile::ReadAll() {
 }
 
 void PagedFile::ChargeAccess(size_t start, size_t count) {
-  assert(start + count <= num_points_ || count == 0);
+  HDIDX_CHECK(start + count <= num_points_ || count == 0);
   Charge(start, count);
 }
 

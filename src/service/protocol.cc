@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/check.h"
+
 namespace hdidx::service {
 
 namespace {
@@ -164,6 +166,15 @@ std::string FormatDouble(double v) {
   return buffer;
 }
 
+/// Framing invariant of the line-delimited protocol: a serialized message
+/// is exactly one line. JsonQuote escapes every control character, so a
+/// newline here means a serializer emitted raw text it should have quoted.
+const std::string& CheckedOneLine(const std::string& message) {
+  HDIDX_DCHECK(message.find('\n') == std::string::npos)
+      << "serialized protocol message spans lines: " << message;
+  return message;
+}
+
 }  // namespace
 
 bool ParseFlatJsonObject(const std::string& line,
@@ -307,7 +318,7 @@ std::string SerializePredictResponse(const ServiceResponse& response,
   out += ",\"latency_ms\":" + FormatDouble(response.latency_ms);
   out += ",\"result\":" + SerializeResult(response, per_query);
   out.push_back('}');
-  return out;
+  return CheckedOneLine(out);
 }
 
 std::string SerializeMetrics(const ServiceMetrics& metrics) {
@@ -334,7 +345,7 @@ std::string SerializeMetrics(const ServiceMetrics& metrics) {
     out.push_back('}');
   }
   out += "]}";
-  return out;
+  return CheckedOneLine(out);
 }
 
 }  // namespace hdidx::service

@@ -1,8 +1,8 @@
 #include "workload/query_workload.h"
 
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "geometry/distance.h"
 #include "index/knn.h"
 
@@ -24,7 +24,7 @@ bool QueryWorkload::Intersects(size_t i,
 QueryWorkload QueryWorkload::Create(const data::Dataset& data, size_t q,
                                     size_t k, common::Rng* rng,
                                     const common::ExecutionContext& ctx) {
-  assert(!data.empty());
+  HDIDX_CHECK(!data.empty());
   // The RNG is consumed serially so the draws match the serial run for any
   // thread count.
   std::vector<size_t> rows(q);
@@ -49,7 +49,7 @@ ScanResult ScanForWorkloadAndSample(io::PagedFile* file, size_t q, size_t k,
                                     const common::ExecutionContext& ctx) {
   const size_t n = file->size();
   const size_t dim = file->dim();
-  assert(n > 0);
+  HDIDX_CHECK(n > 0);
 
   // Step 1: q random point reads (Equation 2: q * (t_seek + t_xfer)).
   // PagedFile charges a seek per non-adjacent access automatically; reading

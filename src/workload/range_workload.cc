@@ -1,8 +1,9 @@
 #include "workload/range_workload.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace hdidx::workload {
 
@@ -27,8 +28,8 @@ RangeWorkload::RangeWorkload(std::vector<geometry::BoundingBox> boxes,
 RangeWorkload RangeWorkload::Create(const data::Dataset& data, size_t q,
                                     std::vector<float> half_extents,
                                     common::Rng* rng) {
-  assert(!data.empty());
-  assert(half_extents.size() == data.dim());
+  HDIDX_CHECK(!data.empty());
+  HDIDX_CHECK(half_extents.size() == data.dim());
   std::vector<geometry::BoundingBox> boxes;
   std::vector<size_t> rows;
   boxes.reserve(q);
@@ -45,8 +46,8 @@ RangeWorkload RangeWorkload::CreateWithCardinality(const data::Dataset& data,
                                                    size_t q,
                                                    size_t target_cardinality,
                                                    common::Rng* rng) {
-  assert(!data.empty());
-  assert(target_cardinality > 0);
+  HDIDX_CHECK(!data.empty());
+  HDIDX_CHECK(target_cardinality > 0);
   const size_t d = data.dim();
   std::vector<geometry::BoundingBox> boxes;
   std::vector<size_t> rows;

@@ -1,0 +1,123 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "geometry/bounding_box.h"
+#include "gtest/gtest.h"
+
+namespace hdidx::common {
+namespace {
+
+TEST(CheckTest, PassingCheckHasNoEffect) {
+  int evaluations = 0;
+  auto pass = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  HDIDX_CHECK(pass());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, MessageIsNotEvaluatedOnSuccess) {
+  int message_evaluations = 0;
+  auto describe = [&message_evaluations] {
+    ++message_evaluations;
+    return std::string("expensive");
+  };
+  HDIDX_CHECK(1 + 1 == 2) << describe();
+  EXPECT_EQ(message_evaluations, 0);
+}
+
+TEST(CheckDeathTest, FailureReportsFileLineAndCondition) {
+  EXPECT_DEATH(HDIDX_CHECK(1 + 1 == 3),
+               R"(check_test\.cc:[0-9]+: HDIDX_CHECK\(1 \+ 1 == 3\) failed)");
+}
+
+TEST(CheckDeathTest, StreamedContextLandsInTheMessage) {
+  const int answer = 42;
+  EXPECT_DEATH(HDIDX_CHECK(answer == 0) << "answer was " << answer,
+               "failed: answer was 42");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsBothOperands) {
+  EXPECT_DEATH(HDIDX_CHECK_OP(==, 2 + 2, 5), R"(failed \[4 vs 5\])");
+}
+
+TEST(CheckDeathTest, CheckOpStreamsExtraContext) {
+  const size_t size = 7;
+  const size_t cap = 3;
+  EXPECT_DEATH(HDIDX_CHECK_OP(<=, size, cap) << "cache overflow",
+               R"(\[7 vs 3\]: cache overflow)");
+}
+
+TEST(CheckTest, CheckOpEvaluatesOperandsExactlyOnce) {
+  int lhs_evaluations = 0;
+  int rhs_evaluations = 0;
+  auto lhs = [&lhs_evaluations] {
+    ++lhs_evaluations;
+    return 5;
+  };
+  auto rhs = [&rhs_evaluations] {
+    ++rhs_evaluations;
+    return 5;
+  };
+  HDIDX_CHECK_OP(==, lhs(), rhs());
+  EXPECT_EQ(lhs_evaluations, 1);
+  EXPECT_EQ(rhs_evaluations, 1);
+}
+
+TEST(CheckTest, DcheckFollowsNdebug) {
+  int evaluations = 0;
+  auto condition = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  HDIDX_DCHECK(condition());
+#ifdef NDEBUG
+  // The default RelWithDebInfo build: DCHECK must compile out entirely.
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+void MarkerHandler(const std::string& message) {
+  std::fprintf(stderr, "custom-marker-handler: %s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+TEST(CheckDeathTest, InstalledHandlerReceivesTheFormattedMessage) {
+  EXPECT_DEATH(
+      {
+        SetCheckFailureHandler(&MarkerHandler);
+        HDIDX_CHECK(false) << "routed";
+      },
+      "custom-marker-handler: .*HDIDX_CHECK\\(false\\) failed: routed");
+}
+
+TEST(CheckTest, SetHandlerReturnsPreviousAndNullRestoresDefault) {
+  const CheckFailureHandler previous = SetCheckFailureHandler(&MarkerHandler);
+  EXPECT_EQ(SetCheckFailureHandler(nullptr), &MarkerHandler);
+  // Restoring the original leaves the process in its starting state.
+  SetCheckFailureHandler(previous);
+}
+
+// The satellite regression for the NDEBUG hole: the seed tree compiled every
+// assert() out of RelWithDebInfo builds, so a malformed BoundingBox went
+// undetected in release mode. HDIDX_CHECK must fire in every build type.
+TEST(CheckDeathTest, ReleaseModeInvariantsFireOnMalformedBoundingBox) {
+  EXPECT_DEATH(
+      geometry::BoundingBox({1.0f, 0.0f}, {0.0f, 1.0f}),
+      "inverted box in dimension 0");
+}
+
+TEST(CheckDeathTest, ReleaseModeInvariantsFireOnDimensionMismatch) {
+  EXPECT_DEATH(geometry::BoundingBox({1.0f, 2.0f}, {3.0f}),
+               R"(HDIDX_CHECK_OP\(lo_\.size\(\) == hi_\.size\(\)\) failed)");
+}
+
+}  // namespace
+}  // namespace hdidx::common

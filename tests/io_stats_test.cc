@@ -1,0 +1,64 @@
+#include "io/io_stats.h"
+
+#include "gtest/gtest.h"
+#include "io/disk_model.h"
+#include "io/lru_cache.h"
+
+namespace hdidx::io {
+namespace {
+
+TEST(IoStatsTest, ConsistentTallyValidatesAndPrices) {
+  IoStats stats;
+  stats.page_seeks = 3;
+  stats.page_transfers = 10;
+  stats.Validate();
+  const DiskModel disk;
+  EXPECT_DOUBLE_EQ(stats.CostSeconds(disk), disk.Seconds(3.0, 10.0));
+}
+
+TEST(IoStatsTest, SumPreservesTheAuditInvariant) {
+  IoStats a;
+  a.page_seeks = 2;
+  a.page_transfers = 5;
+  IoStats b;
+  b.page_seeks = 1;
+  b.page_transfers = 4;
+  const IoStats sum = a + b;
+  sum.Validate();
+  EXPECT_EQ(sum.page_seeks, 3u);
+  EXPECT_EQ(sum.page_transfers, 9u);
+}
+
+// The accounting audit the invariants exist for: a hand-corrupted counter
+// (more seeks than pages moved — impossible in a consistent tally) must be
+// caught the moment the tally is consumed, not silently priced.
+TEST(IoStatsDeathTest, CorruptedCounterIsCaughtAtConsumption) {
+  IoStats corrupted;
+  corrupted.page_seeks = 5;
+  corrupted.page_transfers = 3;
+  EXPECT_DEATH(corrupted.CostSeconds(DiskModel{}),
+               "inconsistent I/O tally: 5 seeks > 3 transfers");
+}
+
+TEST(IoStatsDeathTest, NegativeCountsAreCaughtByTheDiskModel) {
+  const DiskModel disk;
+  EXPECT_DEATH(disk.Seconds(-1.0, 4.0), "negative I/O counts");
+}
+
+// The LRU page cache charges exactly one seek and one transfer per miss, so
+// its tally always satisfies the audit — and its occupancy/bookkeeping
+// invariants hold through hits, misses, and evictions.
+TEST(IoStatsTest, LruCacheTallyStaysConsistent) {
+  LruCache cache(2);
+  for (const uint64_t page : {1u, 2u, 1u, 3u, 4u, 2u, 1u}) {
+    cache.Access(page);
+  }
+  cache.stats().Validate();
+  EXPECT_EQ(cache.stats().page_seeks, cache.stats().page_transfers);
+  EXPECT_EQ(cache.hits() + cache.misses(), 7u);
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GE(cache.misses(), cache.evictions() + cache.size());
+}
+
+}  // namespace
+}  // namespace hdidx::io

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Cached clang-tidy driver for hdidx.
+
+Runs clang-tidy over every translation unit in a compile_commands.json,
+skipping files whose (source content, includes-digest, .clang-tidy, command)
+hash produced a clean run before. The cache makes the CI step incremental:
+an actions/cache restore of --cache-dir turns an unchanged-tree run into a
+few seconds of hashing.
+
+Exit codes: 0 clean, 2 findings (diagnostics already printed as file:line),
+1 environment problems (no clang-tidy, no compile database).
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+
+def file_digest(path):
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return "unreadable"
+
+
+def entry_key(entry, config_digest, root):
+    source = pathlib.Path(entry["file"])
+    h = hashlib.sha256()
+    h.update(config_digest.encode())
+    h.update(file_digest(source).encode())
+    h.update(entry.get("command", " ".join(entry.get("arguments", [])))
+             .encode())
+    # Local headers feed the TU; hash the project's own headers wholesale so
+    # a header edit invalidates every cached TU (coarse but correct).
+    for header in sorted((root / "src").rglob("*.h")):
+        h.update(file_digest(header).encode())
+    return h.hexdigest()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="directory holding compile_commands.json")
+    parser.add_argument("--cache-dir", default=".cache/clang-tidy",
+                        help="directory for clean-run stamps")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--filter", default="/(src|tools|tests)/",
+                        help="only lint TUs whose path contains this "
+                             "substring-regex")
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        sys.stderr.write(f"{args.clang_tidy} not found on PATH\n")
+        return 1
+
+    root = pathlib.Path.cwd()
+    db_path = pathlib.Path(args.build_dir) / "compile_commands.json"
+    if not db_path.exists():
+        sys.stderr.write(
+            f"{db_path} missing; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON\n")
+        return 1
+    entries = json.loads(db_path.read_text())
+
+    import re
+    keep = re.compile(args.filter)
+    entries = [e for e in entries if keep.search(e["file"])]
+
+    cache_dir = pathlib.Path(args.cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    config_digest = file_digest(root / ".clang-tidy")
+
+    # One shared headers digest per run (entry_key re-hashes per entry; fold
+    # it once here instead for speed).
+    headers = hashlib.sha256()
+    for header in sorted((root / "src").rglob("*.h")):
+        headers.update(file_digest(header).encode())
+    headers_digest = headers.hexdigest()
+
+    def key_for(entry):
+        h = hashlib.sha256()
+        h.update(config_digest.encode())
+        h.update(headers_digest.encode())
+        h.update(file_digest(pathlib.Path(entry["file"])).encode())
+        h.update(entry.get("command",
+                           " ".join(entry.get("arguments", []))).encode())
+        return h.hexdigest()
+
+    pending = []
+    cached = 0
+    for entry in entries:
+        stamp = cache_dir / key_for(entry)
+        if stamp.exists():
+            cached += 1
+        else:
+            pending.append((entry, stamp))
+
+    print(f"clang-tidy: {len(entries)} TUs, {cached} cached clean, "
+          f"{len(pending)} to check", flush=True)
+
+    failures = 0
+    def run(job):
+        entry, stamp = job
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", entry["file"]],
+            capture_output=True, text=True)
+        return entry["file"], stamp, proc
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for source, stamp, proc in pool.map(run, pending):
+            output = (proc.stdout or "").strip()
+            if proc.returncode == 0 and "warning:" not in output \
+                    and "error:" not in output:
+                stamp.write_text("clean\n")
+                continue
+            failures += 1
+            print(f"--- findings in {source} ---")
+            if output:
+                print(output)
+            err = (proc.stderr or "").strip()
+            if proc.returncode != 0 and err:
+                print(err, file=sys.stderr)
+
+    if failures:
+        print(f"clang-tidy: findings in {failures} TU(s)", file=sys.stderr)
+        return 2
+    print("clang-tidy: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
