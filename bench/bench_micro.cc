@@ -198,6 +198,36 @@ BENCHMARK(BM_MiniIndexPredictThreads)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
+// The parallel VAMSplit bulk load: fanned-out plan construction + serial
+// emission, bit-identical to the serial loader at every pool size. The
+// threads=1 config takes the serial path (BulkLoad only fans out for
+// pools larger than one), so speedup_vs_1t is measured against the true
+// serial build.
+void BM_BulkLoadThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const data::Dataset& data = SweepData();
+  static const index::TreeTopology& topo =
+      *new index::TreeTopology(data.size(), 33, 16);
+  common::ThreadPool pool(threads);
+  const common::ExecutionContext ctx(&pool);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  options.exec = &ctx;
+  double total_ns = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(index::BulkLoadInMemory(data, options));
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  }
+  ReportSweep(state, "bulk_load", threads, total_ns);
+}
+BENCHMARK(BM_BulkLoadThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
 // ---------------------------------------------------------------------------
 // Serving-path throughput: the same request batch through a
 // PredictionService, cold (caches cleared every iteration) vs. warm (all

@@ -140,6 +140,49 @@ struct ExecutionContext {
 /// ExecutionContext defaults to this one.
 const ExecutionContext& DefaultExecutionContext();
 
+/// Structured fork-join executed as breadth-first waves on an
+/// ExecutionContext — the shape recursive divide-and-conquer work (like the
+/// bulk loader's VAMSplit recursion) needs on top of ParallelFor.
+///
+/// Starting from `frontier`, every wave runs `run(task, &spawned)` for each
+/// frontier task (grain 1, so the pool load-balances uneven tasks); the
+/// tasks a call appends to its private `spawned` vector become part of the
+/// next wave. The loop ends when a wave spawns nothing.
+///
+/// Determinism contract: each task writes only its own `spawned` slot, and
+/// the next frontier is the concatenation of those slots in task order, so
+/// the set *and order* of tasks executed is identical for every thread
+/// count, including serial contexts. Tasks within a wave may run
+/// concurrently and in any order — they must only touch disjoint state, per
+/// the pool's contract. A parent task always runs in an earlier wave than
+/// anything it spawned, and the ParallelFor barrier between waves sequences
+/// (and publishes, in the memory-model sense) the parent's writes before
+/// its children run. Tasks needing randomness must derive it from a
+/// deterministic id they carry (ctx.StreamRng(id)), never from wave or
+/// thread identity.
+template <typename Task, typename RunFn>
+void ForkJoinWaves(const ExecutionContext& ctx, std::vector<Task> frontier,
+                   const RunFn& run) {
+  while (!frontier.empty()) {
+    std::vector<std::vector<Task>> spawned(frontier.size());
+    ctx.ParallelFor(0, frontier.size(), /*grain=*/1,
+                    [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        run(frontier[i], &spawned[i]);
+                      }
+                    });
+    size_t total = 0;
+    for (const auto& s : spawned) total += s.size();
+    std::vector<Task> next;
+    next.reserve(total);
+    for (auto& s : spawned) {
+      next.insert(next.end(), std::make_move_iterator(s.begin()),
+                  std::make_move_iterator(s.end()));
+    }
+    frontier = std::move(next);
+  }
+}
+
 }  // namespace hdidx::common
 
 #endif  // HDIDX_COMMON_PARALLEL_H_

@@ -109,7 +109,7 @@ PredictionResult PredictWithCutoffTree(io::PagedFile* file,
 
   // Step 5: upper tree, leaves grown by the compensation factor.
   const UpperTreeResult upper = BuildGrownUpperTree(
-      sample, topology, params.h_upper, result.sigma_upper);
+      sample, topology, params.h_upper, result.sigma_upper, ctx);
 
   // Steps 6-7: synthesize every lower tree from geometry alone.
   std::vector<geometry::BoundingBox> leaves;

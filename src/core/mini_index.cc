@@ -10,7 +10,7 @@ namespace hdidx::core {
 
 std::vector<geometry::BoundingBox> BuildGrownMiniIndexLeaves(
     const data::Dataset& data, const index::TreeTopology& topology,
-    const MiniIndexParams& params) {
+    const MiniIndexParams& params, const common::ExecutionContext& ctx) {
   HDIDX_CHECK(params.sampling_fraction > 0.0 && params.sampling_fraction <= 1.0);
 
   // Draw the uniform sample.
@@ -31,6 +31,7 @@ std::vector<geometry::BoundingBox> BuildGrownMiniIndexLeaves(
   options.scale = zeta;
   options.root_level = topology.height();
   options.stop_level = 1;
+  options.exec = &ctx;
   const index::RTree mini = index::BulkLoadInMemory(sample, options);
 
   // Grow every leaf by the compensation factor. The page capacity entering
@@ -58,7 +59,7 @@ PredictionResult PredictWithMiniIndex(const data::Dataset& data,
   PredictionResult result;
   result.sigma_upper = params.sampling_fraction;
   const std::vector<geometry::BoundingBox> leaves =
-      BuildGrownMiniIndexLeaves(data, topology, params);
+      BuildGrownMiniIndexLeaves(data, topology, params, ctx);
   CountLeafIntersections(leaves, queries, &result, ctx);
   return result;
 }

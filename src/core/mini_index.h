@@ -37,10 +37,13 @@ PredictionResult PredictWithMiniIndex(
     const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 /// Builds the grown mini-index leaf boxes without counting intersections;
-/// exposed for tests and for inspecting predicted page layouts.
+/// exposed for tests and for inspecting predicted page layouts. The
+/// mini-index bulk load fans out on `ctx` with a bit-identical layout for
+/// every thread count (see BulkLoadOptions::exec).
 std::vector<geometry::BoundingBox> BuildGrownMiniIndexLeaves(
     const data::Dataset& data, const index::TreeTopology& topology,
-    const MiniIndexParams& params);
+    const MiniIndexParams& params,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 }  // namespace hdidx::core
 

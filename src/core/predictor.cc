@@ -110,7 +110,8 @@ data::Dataset ChargeScanAndDrawSample(io::PagedFile* file,
 
 UpperTreeResult BuildGrownUpperTree(const data::Dataset& sample,
                                     const index::TreeTopology& topology,
-                                    size_t h_upper, double sigma_upper) {
+                                    size_t h_upper, double sigma_upper,
+                                    const common::ExecutionContext& ctx) {
   UpperTreeResult result;
   result.sigma_upper = sigma_upper;
   result.stop_level = topology.height() - h_upper + 1;
@@ -120,6 +121,7 @@ UpperTreeResult BuildGrownUpperTree(const data::Dataset& sample,
   options.scale = sigma_upper;
   options.root_level = topology.height();
   options.stop_level = result.stop_level;
+  options.exec = &ctx;
   const index::RTree upper = index::BulkLoadInMemory(sample, options);
 
   result.grown_leaves.reserve(upper.num_leaves());

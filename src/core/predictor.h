@@ -90,9 +90,12 @@ struct UpperTreeResult {
   double sigma_upper = 1.0;
   size_t stop_level = 1;
 };
-UpperTreeResult BuildGrownUpperTree(const data::Dataset& sample,
-                                    const index::TreeTopology& topology,
-                                    size_t h_upper, double sigma_upper);
+/// The upper-tree bulk load fans out on `ctx` with a bit-identical layout
+/// for every thread count (see BulkLoadOptions::exec).
+UpperTreeResult BuildGrownUpperTree(
+    const data::Dataset& sample, const index::TreeTopology& topology,
+    size_t h_upper, double sigma_upper,
+    const common::ExecutionContext& ctx = common::DefaultExecutionContext());
 
 }  // namespace hdidx::core
 

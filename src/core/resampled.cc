@@ -71,8 +71,8 @@ PredictionResult PredictWithResampledTree(
       ChargeScanAndDrawSample(file, queries.size(), m, &rng);
 
   // Step 5: upper tree with grown leaves; k = number of upper leaf pages.
-  const UpperTreeResult upper =
-      BuildGrownUpperTree(sample, topology, params.h_upper, result.sigma_upper);
+  const UpperTreeResult upper = BuildGrownUpperTree(
+      sample, topology, params.h_upper, result.sigma_upper, ctx);
   const size_t k = upper.grown_leaves.size();
   const double sigma_lower = std::min(
       1.0, static_cast<double>(k) * static_cast<double>(m) /
@@ -165,6 +165,7 @@ PredictionResult PredictWithResampledTree(
     options.scale = zeta;
     options.root_level = upper.stop_level;
     options.stop_level = 1;
+    options.exec = &ctx;
     const index::RTree lower = index::BulkLoadInMemory(lower_points, options);
 
     for (uint32_t id : lower.leaf_ids()) {

@@ -62,6 +62,7 @@ SsTreePredictionResult PredictSsTreeWithMiniIndex(
   index::BulkLoadOptions options;
   options.topology = &topology;
   options.scale = zeta;
+  options.exec = &ctx;
   const index::RTree mini = index::BulkLoadInMemory(sample, options);
 
   std::vector<geometry::BoundingSphere> leaves =

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace hdidx::index {
@@ -138,6 +141,180 @@ class Builder {
   RTree* tree_;
 };
 
+struct SplitCell;
+
+/// A node of the plan tree the parallel build produces before emission:
+/// level and point range as in the serial recursion, plus either a computed
+/// MBR (leaves) or the binary split recursion that produced its children
+/// (directories). The plan's shape is a deterministic function of the input
+/// alone — tasks fill slots, they never append to shared sequences.
+struct PlanNode {
+  size_t level;
+  size_t lo;
+  size_t hi;
+  bool is_leaf = false;
+  geometry::BoundingBox box;          // leaves; directories derive theirs
+  size_t fanout = 0;                  // directories: target for the audit
+  std::unique_ptr<SplitCell> splits;  // directories: binary split tree
+
+  PlanNode(size_t dim, size_t level_in, size_t lo_in, size_t hi_in)
+      : level(level_in), lo(lo_in), hi(hi_in), box(dim) {}
+};
+
+/// One invocation of the recursive binary split: either it partitioned and
+/// recursed (left/right set) or it terminated into one child node. Walking
+/// cells left-to-right recovers the children in exactly the order the
+/// serial SplitRange pushes them.
+struct SplitCell {
+  std::unique_ptr<SplitCell> left;
+  std::unique_ptr<SplitCell> right;
+  std::unique_ptr<PlanNode> child;
+};
+
+/// Parallel plan builder: runs the same recursion as Builder, but as a
+/// breadth-first task graph on the execution context's pool. Sibling tasks
+/// always cover disjoint [lo, hi) ranges, which is precisely the source's
+/// Concurrency::kDisjointRanges contract, and each range sees the identical
+/// sequence of ChooseSplitDim/Partition/ComputeBox calls the depth-first
+/// recursion would issue — operations on disjoint ranges commute, so the
+/// final permutation and every MBR are bit-identical to the serial build
+/// for any thread count. Node ids are assigned afterwards by a serial
+/// post-order emission walk replicating the serial AddLeaf/AddDirectory
+/// call order exactly.
+class ParallelBuilder {
+ public:
+  ParallelBuilder(PointSource* source, const BulkLoadOptions& options,
+                  RTree* tree)
+      : source_(source), options_(options), tree_(tree) {}
+
+  uint32_t Build(size_t root_level) {
+    PlanNode root(source_->dim(), root_level, 0, source_->size());
+    std::vector<Task> frontier;
+    frontier.push_back(NodeTask(&root));
+    common::ForkJoinWaves(
+        *options_.exec, std::move(frontier),
+        [this](const Task& task, std::vector<Task>* spawn) {
+          if (task.cell == nullptr) {
+            ExpandNode(task.node, spawn);
+          } else {
+            RunSplit(task, spawn);
+          }
+        });
+    return Emit(&root);
+  }
+
+ private:
+  /// Either a node expansion (cell == nullptr) or one binary split step of
+  /// [lo, hi) into `fanout` partitions for directory `node`.
+  struct Task {
+    PlanNode* node = nullptr;
+    SplitCell* cell = nullptr;
+    size_t lo = 0;
+    size_t hi = 0;
+    size_t fanout = 0;
+    size_t depth = 0;
+    double child_target = 0.0;
+  };
+
+  static Task NodeTask(PlanNode* node) {
+    Task task;
+    task.node = node;
+    return task;
+  }
+
+  void ExpandNode(PlanNode* node, std::vector<Task>* spawn) {
+    HDIDX_CHECK(node->hi > node->lo);
+    if (node->level == options_.stop_level) {
+      node->box = source_->ComputeBox(node->lo, node->hi);
+      node->is_leaf = true;
+      return;
+    }
+    // Same scaled child capacity (and clamp) as Builder::BuildNode.
+    const double child_target = std::max(
+        1.0,
+        static_cast<double>(options_.topology->SubtreeCapacity(node->level - 1)) *
+            options_.scale);
+    const size_t fanout = static_cast<size_t>(std::ceil(
+        static_cast<double>(node->hi - node->lo) / child_target - 1e-9));
+    node->fanout = fanout;
+    node->splits = std::make_unique<SplitCell>();
+    Task task;
+    task.node = node;
+    task.cell = node->splits.get();
+    task.lo = node->lo;
+    task.hi = node->hi;
+    task.fanout = fanout;
+    task.depth = 0;
+    task.child_target = child_target;
+    spawn->push_back(task);
+  }
+
+  void RunSplit(const Task& task, std::vector<Task>* spawn) {
+    PlanNode* dir = task.node;
+    if (task.fanout <= 1 || task.hi - task.lo <= 1) {
+      task.cell->child = std::make_unique<PlanNode>(
+          source_->dim(), dir->level - 1, task.lo, task.hi);
+      spawn->push_back(NodeTask(task.cell->child.get()));
+      return;
+    }
+    const size_t left_fanout = (task.fanout + 1) / 2;
+    size_t split =
+        task.lo + static_cast<size_t>(std::llround(
+                      static_cast<double>(left_fanout) * task.child_target));
+    split = std::clamp(split, task.lo + 1, task.hi - 1);
+    const size_t dim = source_->ChooseSplitDim(
+        task.lo, task.hi, options_.split_strategy, task.depth);
+    source_->Partition(task.lo, task.hi, split, dim);
+    task.cell->left = std::make_unique<SplitCell>();
+    task.cell->right = std::make_unique<SplitCell>();
+    Task left = task;
+    left.cell = task.cell->left.get();
+    left.hi = split;
+    left.fanout = left_fanout;
+    ++left.depth;
+    Task right = task;
+    right.cell = task.cell->right.get();
+    right.lo = split;
+    right.fanout = task.fanout - left_fanout;
+    ++right.depth;
+    spawn->push_back(left);
+    spawn->push_back(right);
+  }
+
+  /// Serial post-order emission: children (left to right) before their
+  /// directory — the exact AddLeaf/AddDirectory call sequence of the serial
+  /// recursion, hence identical node ids and leaf_ids().
+  uint32_t Emit(PlanNode* node) {
+    if (node->is_leaf) {
+      return tree_->AddLeaf(std::move(node->box),
+                            static_cast<uint32_t>(node->level),
+                            static_cast<uint32_t>(node->lo),
+                            static_cast<uint32_t>(node->hi - node->lo));
+    }
+    std::vector<uint32_t> children;
+    CollectChildren(node->splits.get(), &children);
+    // Same fanout audit as the serial recursion.
+    HDIDX_CHECK(!children.empty() && children.size() <= node->fanout)
+        << "level " << node->level << " produced " << children.size()
+        << " children for target fanout " << node->fanout;
+    return tree_->AddDirectory(static_cast<uint32_t>(node->level),
+                               std::move(children));
+  }
+
+  void CollectChildren(SplitCell* cell, std::vector<uint32_t>* out) {
+    if (cell->child != nullptr) {
+      out->push_back(Emit(cell->child.get()));
+      return;
+    }
+    CollectChildren(cell->left.get(), out);
+    CollectChildren(cell->right.get(), out);
+  }
+
+  PointSource* source_;
+  const BulkLoadOptions& options_;
+  RTree* tree_;
+};
+
 }  // namespace
 
 RTree BulkLoad(PointSource* source, const BulkLoadOptions& options) {
@@ -149,8 +326,20 @@ RTree BulkLoad(PointSource* source, const BulkLoadOptions& options) {
 
   RTree tree(source->dim());
   if (source->size() == 0) return tree;
-  Builder builder(source, options, &tree);
-  const uint32_t root = builder.BuildNode(root_level, 0, source->size());
+  // Single-owner gate: only sources whose primitives are safe on disjoint
+  // ranges may fan out. The external source in particular must keep its
+  // order-sensitive I/O charging on one thread, serial-recursion order.
+  const bool fan_out =
+      options.exec != nullptr && options.exec->threads() > 1 &&
+      source->concurrency() == PointSource::Concurrency::kDisjointRanges;
+  uint32_t root;
+  if (fan_out) {
+    ParallelBuilder builder(source, options, &tree);
+    root = builder.Build(root_level);
+  } else {
+    Builder builder(source, options, &tree);
+    root = builder.BuildNode(root_level, 0, source->size());
+  }
   tree.SetRoot(root);
   source->Finish();
   // Coverage audit: leaves are appended left to right, so their ranges must

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "data/dataset.h"
 #include "geometry/bounding_box.h"
 #include "index/rtree.h"
@@ -40,7 +41,29 @@ enum class SplitStrategy {
 /// index tree" and the predictors' in-memory mini-indexes.
 class PointSource {
  public:
+  /// Thread-safety contract of the three range primitives.
+  ///
+  ///  * kSingleOwner: only one thread may call into the source, and the
+  ///    *order* of calls is part of its observable behavior. This is the
+  ///    default, and the external source's gate: its PagedFile I/O charging
+  ///    is order-sensitive (a seek is charged only on non-adjacent access)
+  ///    and its M-point memory window is shared state, so the simulated
+  ///    disk costs stay exactly the paper's numbers only when the serial
+  ///    recursion drives it.
+  ///  * kDisjointRanges: MaxVarianceDim / ChooseSplitDim / Partition /
+  ///    ComputeBox may run concurrently from several threads as long as
+  ///    their [lo, hi) ranges do not overlap, and each call's result
+  ///    depends only on the range contents — never on what other ranges
+  ///    are doing. The in-memory source satisfies this: calls read the
+  ///    immutable dataset and touch only order_[lo, hi).
+  enum class Concurrency { kSingleOwner, kDisjointRanges };
+
   virtual ~PointSource() = default;
+
+  /// See Concurrency. BulkLoad only fans out over sources that declare
+  /// kDisjointRanges; everything else gets the serial recursion regardless
+  /// of the execution context it was handed.
+  virtual Concurrency concurrency() const { return Concurrency::kSingleOwner; }
 
   virtual size_t dim() const = 0;
   virtual size_t size() const = 0;
@@ -75,6 +98,9 @@ class InMemoryPointSource : public PointSource {
   /// `data` must outlive the source.
   explicit InMemoryPointSource(const data::Dataset* data);
 
+  Concurrency concurrency() const override {
+    return Concurrency::kDisjointRanges;
+  }
   size_t dim() const override { return data_->dim(); }
   size_t size() const override { return data_->size(); }
   size_t MaxVarianceDim(size_t lo, size_t hi) override;
@@ -113,6 +139,24 @@ struct BulkLoadOptions {
 
   /// How split dimensions are chosen (see SplitStrategy).
   SplitStrategy split_strategy = SplitStrategy::kMaxVariance;
+
+  /// Execution resources for the build. nullptr (the default) and serial
+  /// contexts run the classic depth-first recursion; a context with a pool
+  /// of 2+ threads fans sibling subtrees out over the pool's workers —
+  /// *only* for sources declaring Concurrency::kDisjointRanges (the
+  /// in-memory source). Single-owner sources (the external/on-disk build)
+  /// always take the serial path so their I/O charging order is untouched.
+  ///
+  /// Determinism: the parallel build is bit-identical to the serial one —
+  /// same node ids, levels, MBRs, leaf ranges, and point permutation — for
+  /// every thread count. Sibling subtrees cover disjoint ranges of the
+  /// permutation, the task graph is a deterministic function of the input,
+  /// and nodes are emitted by a serial post-order walk in exactly the
+  /// serial recursion's order. The split pipeline draws no randomness; a
+  /// future randomized SplitStrategy must draw from
+  /// exec->StreamRng(subtree id), keyed by the deterministic ids the task
+  /// graph carries (Rng::Fork), never from thread or wave identity.
+  const common::ExecutionContext* exec = nullptr;
 };
 
 /// Bulk-loads a VAMSplit R*-tree from `source` (all of its points).
@@ -121,7 +165,8 @@ struct BulkLoadOptions {
 /// Böhm and Kriegel: at each directory node the required fanout is
 /// f = ceil(n / (scale * cap(level-1))) and the range is split into f
 /// partitions by recursive binary maximum-variance splits at multiples of
-/// the (scaled) child capacity.
+/// the (scaled) child capacity. With options.exec (see there) the
+/// partitioning fans out across threads with a bit-identical result.
 RTree BulkLoad(PointSource* source, const BulkLoadOptions& options);
 
 /// Convenience wrapper: builds over an in-memory dataset and installs the

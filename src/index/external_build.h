@@ -17,6 +17,13 @@ struct ExternalBuildOptions {
   /// and the chunk size of the external passes. Must be at least the data
   /// page capacity.
   size_t memory_points = 0;
+  /// Execution resources, accepted for interface symmetry with the
+  /// in-memory build. The external point source declares itself
+  /// single-owner (PointSource::Concurrency), so BulkLoad never fans it
+  /// out: every PagedFile access — whose seek charging is order-sensitive —
+  /// happens on the calling thread in serial-recursion order, and the
+  /// resulting IoStats are identical for every thread count.
+  const common::ExecutionContext* exec = nullptr;
 };
 
 /// Result of an on-disk bulk load: the finished tree plus every seek and

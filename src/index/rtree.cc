@@ -1,5 +1,7 @@
 #include "index/rtree.h"
 
+#include <cstring>
+
 #include "common/check.h"
 #include "geometry/distance.h"
 
@@ -95,6 +97,58 @@ double RTree::TotalLeafVolume() const {
   double v = 0.0;
   for (uint32_t id : leaf_ids_) v += nodes_[id].box.Volume();
   return v;
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashU64(uint64_t value, uint64_t* hash) {
+  for (int byte = 0; byte < 8; ++byte) {
+    *hash ^= (value >> (8 * byte)) & 0xffULL;
+    *hash *= kFnvPrime;
+  }
+}
+
+void HashFloatBits(const std::vector<float>& values, uint64_t* hash) {
+  for (const float v : values) {
+    uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    HashU64(bits, hash);
+  }
+}
+
+}  // namespace
+
+uint64_t TreeLayoutDigest(const RTree& tree) {
+  uint64_t hash = kFnvOffset;
+  HashU64(tree.dim(), &hash);
+  HashU64(tree.num_nodes(), &hash);
+  if (tree.empty()) return hash;
+  HashU64(tree.root(), &hash);
+  std::vector<uint32_t> frontier = {tree.root()};
+  while (!frontier.empty()) {
+    std::vector<uint32_t> next;
+    for (const uint32_t id : frontier) {
+      const RTreeNode& node = tree.node(id);
+      HashU64(id, &hash);
+      HashU64(node.level, &hash);
+      HashU64(node.children.size(), &hash);
+      HashU64(node.pages, &hash);
+      if (node.is_leaf()) {
+        HashU64(node.start, &hash);
+        HashU64(node.count, &hash);
+      } else {
+        next.insert(next.end(), node.children.begin(), node.children.end());
+      }
+      HashFloatBits(node.box.lo(), &hash);
+      HashFloatBits(node.box.hi(), &hash);
+    }
+    frontier = std::move(next);
+  }
+  return hash;
 }
 
 }  // namespace hdidx::index

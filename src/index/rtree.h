@@ -113,6 +113,16 @@ class RTree {
   uint32_t root_ = 0;
 };
 
+/// Deterministic 64-bit digest of a tree's layout: FNV-1a over a level-order
+/// walk from the root covering each node's level, child count, leaf range
+/// and the raw float bits of its MBR. Two trees with equal digests have (up
+/// to hash collisions) identical topology, node ordering, MBRs and leaf
+/// ranges — the golden-layout fixtures pin these values so refactors of the
+/// bulk loaders cannot silently reshuffle layouts. The point permutation
+/// (order()) is deliberately excluded: within-leaf point order is not part
+/// of the layout contract.
+uint64_t TreeLayoutDigest(const RTree& tree);
+
 }  // namespace hdidx::index
 
 #endif  // HDIDX_INDEX_RTREE_H_

@@ -15,7 +15,12 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "gtest/gtest.h"
+#include "index/bulk_loader.h"
+#include "index/external_build.h"
+#include "index/rtree.h"
+#include "index/topology.h"
 #include "io/keyed_lru_cache.h"
+#include "io/paged_file.h"
 #include "service/prediction_service.h"
 #include "service/protocol.h"
 #include "test_util.h"
@@ -188,6 +193,76 @@ TEST(ConcurrencyStressTest, ServiceBatchingStaysBitIdentical) {
   EXPECT_EQ(metrics.errors, 0u);
   // Cache bookkeeping tallies: every request either hit or missed.
   EXPECT_EQ(metrics.result_hits + metrics.result_misses, metrics.requests);
+}
+
+// Several independent parallel bulk loads sharing one pool at once: the
+// builds publish ParallelFor waves concurrently, yet each must still emit
+// the bit-identical layout the serial loader produces. This is the
+// deployment shape of the sharded service (many shards, one machine).
+TEST(ConcurrencyStressTest, ConcurrentParallelBuildsShareOnePool) {
+  const data::Dataset data = testing::SmallClustered(3000, 8, 91);
+  const index::TreeTopology topo(data.size(), 20, 6);
+  index::BulkLoadOptions serial;
+  serial.topology = &topo;
+  const index::RTree reference = index::BulkLoadInMemory(data, serial);
+  const uint64_t reference_digest = index::TreeLayoutDigest(reference);
+
+  common::ThreadPool pool(4);
+  const common::ExecutionContext ctx(&pool);
+  constexpr size_t kBuilders = 6;
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> builders;
+  builders.reserve(kBuilders);
+  for (size_t b = 0; b < kBuilders; ++b) {
+    builders.emplace_back([&] {
+      for (size_t round = 0; round < 3; ++round) {
+        index::BulkLoadOptions options;
+        options.topology = &topo;
+        options.exec = &ctx;
+        const index::RTree tree = index::BulkLoadInMemory(data, options);
+        if (index::TreeLayoutDigest(tree) != reference_digest ||
+            tree.order() != reference.order()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& b : builders) b.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// The external (on-disk) build must be completely unaffected by the
+// execution context: its point source is single-owner, so BulkLoad never
+// fans it out, and the simulated disk's order-sensitive seek accounting
+// stays exactly the serial recursion's. Same IoStats, same on-disk bytes,
+// same tree, for any thread count.
+TEST(ConcurrencyStressTest, ExternalBuildIoStatsAreThreadCountInvariant) {
+  const data::Dataset data = testing::SmallClustered(4000, 6, 77);
+  const index::TreeTopology topo(data.size(), 25, 8);
+
+  io::PagedFile serial_file = io::PagedFile::FromDataset(data, io::DiskModel{});
+  index::ExternalBuildOptions serial;
+  serial.topology = &topo;
+  serial.memory_points = 400;
+  const index::ExternalBuildResult serial_result =
+      index::BuildOnDisk(&serial_file, serial);
+
+  common::ThreadPool pool(4);
+  const common::ExecutionContext ctx(&pool);
+  io::PagedFile pooled_file = io::PagedFile::FromDataset(data, io::DiskModel{});
+  index::ExternalBuildOptions pooled = serial;
+  pooled.exec = &ctx;
+  const index::ExternalBuildResult pooled_result =
+      index::BuildOnDisk(&pooled_file, pooled);
+
+  EXPECT_EQ(serial_result.io.page_seeks, pooled_result.io.page_seeks);
+  EXPECT_EQ(serial_result.io.page_transfers, pooled_result.io.page_transfers);
+  EXPECT_EQ(index::TreeLayoutDigest(serial_result.tree),
+            index::TreeLayoutDigest(pooled_result.tree));
+  ASSERT_EQ(serial_file.raw().size(), pooled_file.raw().size());
+  EXPECT_TRUE(std::equal(serial_file.raw().begin(), serial_file.raw().end(),
+                         pooled_file.raw().begin()))
+      << "on-disk page images diverged";
 }
 
 }  // namespace

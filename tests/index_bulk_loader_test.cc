@@ -1,7 +1,10 @@
 #include "index/bulk_loader.h"
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "data/generators.h"
 #include "gtest/gtest.h"
@@ -159,6 +162,165 @@ TEST(BulkLoaderTest, DeterministicForSameInputs) {
   for (uint32_t id = 0; id < a.num_nodes(); ++id) {
     EXPECT_TRUE(a.node(id).box == b.node(id).box);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Build-equivalence battery: for every SplitStrategy, every dataset shape
+// (uniform, clustered, all-identical points — the degenerate-partition
+// regression case), and thread counts 1/2/4/8, the parallel build must be
+// bit-identical to the serial one: same node ids, MBR floats, leaf ranges
+// and point permutation. Runs in the TSan CI job.
+// ---------------------------------------------------------------------------
+
+data::Dataset AllIdenticalPoints(size_t n, size_t dim) {
+  data::Dataset data(dim);
+  const std::vector<float> row(dim, 0.5f);
+  for (size_t i = 0; i < n; ++i) data.Append(row);
+  return data;
+}
+
+data::Dataset UniformData(size_t n, size_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  return data::GenerateUniform(n, dim, &rng);
+}
+
+class BulkLoaderParallelTest : public ::testing::TestWithParam<SplitStrategy> {
+ protected:
+  static const char* StrategyName(SplitStrategy s) {
+    switch (s) {
+      case SplitStrategy::kMaxVariance:
+        return "max-variance";
+      case SplitStrategy::kMaxExtent:
+        return "max-extent";
+      case SplitStrategy::kRoundRobin:
+        return "round-robin";
+    }
+    return "?";
+  }
+
+  void ExpectParallelMatchesSerial(const data::Dataset& data,
+                                   const BulkLoadOptions& base,
+                                   const char* dataset_name) {
+    BulkLoadOptions serial = base;
+    serial.exec = nullptr;
+    const RTree reference = BulkLoadInMemory(data, serial);
+    for (const size_t threads : {1u, 2u, 4u, 8u}) {
+      common::ThreadPool pool(threads);
+      const common::ExecutionContext ctx(&pool);
+      BulkLoadOptions parallel = base;
+      parallel.exec = &ctx;
+      const RTree tree = BulkLoadInMemory(data, parallel);
+      const std::string what = std::string(dataset_name) + ", " +
+                               StrategyName(base.split_strategy) + ", " +
+                               std::to_string(threads) + " threads vs serial";
+      hdidx::testing::ExpectTreesIdentical(reference, tree, what.c_str());
+    }
+  }
+};
+
+TEST_P(BulkLoaderParallelTest, UniformDatasetBitIdentical) {
+  const auto data = UniformData(3000, 6, 31);
+  const TreeTopology topo(data.size(), 18, 5);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  options.split_strategy = GetParam();
+  ExpectParallelMatchesSerial(data, options, "uniform");
+}
+
+TEST_P(BulkLoaderParallelTest, ClusteredDatasetBitIdentical) {
+  const auto data = hdidx::testing::SmallClustered(4000, 8, 32);
+  const TreeTopology topo(data.size(), 25, 6);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  options.split_strategy = GetParam();
+  ExpectParallelMatchesSerial(data, options, "clustered");
+}
+
+TEST_P(BulkLoaderParallelTest, AllIdenticalPointsBitIdentical) {
+  // Every coordinate equal: all variances are zero and every partition is
+  // degenerate — the case that used to trip the external build (PR 3).
+  const auto data = AllIdenticalPoints(1500, 4);
+  const TreeTopology topo(data.size(), 10, 4);
+  BulkLoadOptions options;
+  options.topology = &topo;
+  options.split_strategy = GetParam();
+  ExpectParallelMatchesSerial(data, options, "all-identical");
+}
+
+TEST_P(BulkLoaderParallelTest, UpperTreeAndScaledBuildsBitIdentical) {
+  // The predictor-side shapes: a scaled mini build and an upper tree with a
+  // raised stop level must also be thread-count invariant.
+  const auto data = hdidx::testing::SmallClustered(600, 5, 33);
+  const TreeTopology topo(6000, 10, 4);
+  BulkLoadOptions mini;
+  mini.topology = &topo;
+  mini.scale = 0.1;
+  mini.split_strategy = GetParam();
+  ExpectParallelMatchesSerial(data, mini, "scaled-mini");
+
+  BulkLoadOptions upper = mini;
+  upper.root_level = topo.height();
+  upper.stop_level = topo.height() - 1;
+  ExpectParallelMatchesSerial(data, upper, "upper-tree");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, BulkLoaderParallelTest,
+                         ::testing::Values(SplitStrategy::kMaxVariance,
+                                           SplitStrategy::kMaxExtent,
+                                           SplitStrategy::kRoundRobin),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case SplitStrategy::kMaxVariance:
+                               return "MaxVariance";
+                             case SplitStrategy::kMaxExtent:
+                               return "MaxExtent";
+                             case SplitStrategy::kRoundRobin:
+                               return "RoundRobin";
+                           }
+                           return "Unknown";
+                         });
+
+// ---------------------------------------------------------------------------
+// Golden-layout regression fixtures: the exact layout digests of two
+// fixed-seed builds, pinned so a future refactor of either bulk loader
+// cannot silently reshuffle layouts. The values hash MBR float bits and are
+// tied to this toolchain's std::nth_element tie-breaking (libstdc++); a
+// *deliberate* layout change must update them — the failure message prints
+// the new digest.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kGoldenClustered2000x8 = 0x7eaca0ccb0b59c03ULL;
+constexpr uint64_t kGoldenUniform3000x12 = 0xb08f52526c3c6bfcULL;
+
+void ExpectGoldenDigest(const data::Dataset& data, const TreeTopology& topo,
+                        uint64_t golden) {
+  BulkLoadOptions serial;
+  serial.topology = &topo;
+  const RTree reference = BulkLoadInMemory(data, serial);
+  EXPECT_EQ(TreeLayoutDigest(reference), golden)
+      << "serial layout changed; new digest 0x" << std::hex
+      << TreeLayoutDigest(reference);
+
+  common::ThreadPool pool(4);
+  const common::ExecutionContext ctx(&pool);
+  BulkLoadOptions parallel = serial;
+  parallel.exec = &ctx;
+  const RTree tree = BulkLoadInMemory(data, parallel);
+  EXPECT_EQ(TreeLayoutDigest(tree), golden)
+      << "parallel layout diverged; digest 0x" << std::hex
+      << TreeLayoutDigest(tree);
+}
+
+TEST(BulkLoaderGoldenLayoutTest, Clustered2000x8) {
+  const auto data = hdidx::testing::SmallClustered(2000, 8, 42);
+  const TreeTopology topo(data.size(), 20, 5);
+  ExpectGoldenDigest(data, topo, kGoldenClustered2000x8);
+}
+
+TEST(BulkLoaderGoldenLayoutTest, Uniform3000x12) {
+  const auto data = UniformData(3000, 12, 43);
+  const TreeTopology topo(data.size(), 33, 16);
+  ExpectGoldenDigest(data, topo, kGoldenUniform3000x12);
 }
 
 TEST(BulkLoaderTest, TinyScaleClampsToOnePointPerPage) {

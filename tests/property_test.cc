@@ -3,7 +3,9 @@
 
 #include <cmath>
 #include <tuple>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "core/compensation.h"
 #include "data/generators.h"
@@ -60,6 +62,72 @@ INSTANTIATE_TEST_SUITE_P(
                       TreeParams{1000, 8, 20, 5}, TreeParams{2000, 16, 16, 8},
                       TreeParams{3000, 4, 50, 12}, TreeParams{777, 5, 7, 2},
                       TreeParams{64, 32, 8, 4}, TreeParams{4096, 6, 32, 16}));
+
+// ---------------------------------------------------------------------------
+// Parallel-build invariants for randomized (n, dim, data_cap, dir_cap): a
+// build fanned out over a 4-thread pool must leave leaves tiling [0, n)
+// exactly once, and — with scale 1 — every page at every level full except
+// the rightmost one (the level-wise loader's packing guarantee, which makes
+// node counts the topology's ceilings).
+// ---------------------------------------------------------------------------
+
+class ParallelBuildProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelBuildProperty, LeavesTileAndOnlyRightmostPagePartial) {
+  common::Rng shape_rng(GetParam());
+  const size_t n = 50 + shape_rng.NextBounded(4000);
+  const size_t dim = 2 + shape_rng.NextBounded(14);
+  const size_t data_cap = 2 + shape_rng.NextBounded(38);
+  const size_t dir_cap = 2 + shape_rng.NextBounded(12);
+  const auto data = testing::SmallClustered(n, dim, GetParam() * 977 + 5);
+  const index::TreeTopology topo(n, data_cap, dir_cap);
+
+  common::ThreadPool pool(4);
+  const common::ExecutionContext ctx(&pool);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  options.exec = &ctx;
+  const index::RTree tree = index::BulkLoadInMemory(data, options);
+  testing::ExpectValidTree(tree, data, 1);
+
+  // Leaves tile [0, n) exactly once, in leaf_ids (left-to-right) order.
+  size_t covered = 0;
+  for (const uint32_t id : tree.leaf_ids()) {
+    EXPECT_EQ(tree.node(id).start, covered) << "gap/overlap before leaf " << id;
+    covered += tree.node(id).count;
+  }
+  EXPECT_EQ(covered, n);
+
+  // Points under every node, per level, in left-to-right (DFS) order.
+  std::vector<std::vector<size_t>> points_at_level(tree.root_level() + 1);
+  const auto subtree_points = [&tree, &points_at_level](
+                                  const auto& self, uint32_t id) -> size_t {
+    const index::RTreeNode& node = tree.node(id);
+    size_t points = node.count;
+    for (const uint32_t child : node.children) points += self(self, child);
+    points_at_level[node.level].push_back(points);
+    return points;
+  };
+  subtree_points(subtree_points, tree.root());
+
+  for (size_t level = 1; level <= tree.root_level(); ++level) {
+    // DFS pushes a node after its subtree, which still visits each level
+    // left to right.
+    const std::vector<size_t>& nodes = points_at_level[level];
+    ASSERT_EQ(nodes.size(), topo.NodesAtLevel(level)) << "level " << level;
+    const size_t cap = topo.SubtreeCapacity(level);
+    for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+      EXPECT_EQ(nodes[i], cap)
+          << "non-rightmost node " << i << " at level " << level
+          << " is not full";
+    }
+    EXPECT_EQ(nodes.back(), n - (nodes.size() - 1) * cap)
+        << "rightmost node at level " << level;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelBuildProperty,
+                         ::testing::Range<uint64_t>(1, 9));
 
 // ---------------------------------------------------------------------------
 // Compensation-factor properties across (capacity, zeta).

@@ -55,4 +55,27 @@ void ExpectValidTree(const index::RTree& tree, const data::Dataset& data,
       << "some point is missing or duplicated across leaves";
 }
 
+void ExpectTreesIdentical(const index::RTree& expected,
+                          const index::RTree& actual, const char* what) {
+  ASSERT_EQ(expected.num_nodes(), actual.num_nodes()) << what;
+  ASSERT_EQ(expected.dim(), actual.dim()) << what;
+  EXPECT_EQ(expected.root(), actual.root()) << what;
+  EXPECT_EQ(expected.leaf_ids(), actual.leaf_ids()) << what;
+  EXPECT_EQ(expected.order(), actual.order()) << what;
+  for (uint32_t id = 0; id < expected.num_nodes(); ++id) {
+    const index::RTreeNode& e = expected.node(id);
+    const index::RTreeNode& a = actual.node(id);
+    EXPECT_EQ(e.level, a.level) << what << ", node " << id;
+    EXPECT_EQ(e.start, a.start) << what << ", node " << id;
+    EXPECT_EQ(e.count, a.count) << what << ", node " << id;
+    EXPECT_EQ(e.children, a.children) << what << ", node " << id;
+    EXPECT_EQ(e.pages, a.pages) << what << ", node " << id;
+    // Exact float equality: "bit-identical" means the very same MBRs.
+    EXPECT_TRUE(e.box.lo() == a.box.lo() && e.box.hi() == a.box.hi())
+        << what << ", node " << id << " has a different MBR";
+  }
+  EXPECT_EQ(index::TreeLayoutDigest(expected), index::TreeLayoutDigest(actual))
+      << what;
+}
+
 }  // namespace hdidx::testing

@@ -24,6 +24,14 @@ data::Dataset SmallClustered(size_t n, size_t dim, uint64_t seed);
 void ExpectValidTree(const index::RTree& tree, const data::Dataset& data,
                      size_t expected_leaf_level);
 
+/// Bit-identity of two builds: same node ids, levels, child lists, leaf
+/// ranges, page weights, exact MBR floats, leaf order and point
+/// permutation. This is the build-equivalence contract the parallel bulk
+/// loader guarantees against the serial one; `what` labels failures (e.g.
+/// "4 threads vs serial").
+void ExpectTreesIdentical(const index::RTree& expected,
+                          const index::RTree& actual, const char* what);
+
 }  // namespace hdidx::testing
 
 #endif  // HDIDX_TESTS_TEST_UTIL_H_

@@ -5,22 +5,32 @@
 //   hdidx_gen --out data.hdx --kind uniform --n 100000 --dim 8
 //   hdidx_gen --out data.hdx --kind clustered --n 50000 --dim 32
 //             --clusters 24 --intrinsic 6 [--threads 8]
+//   hdidx_gen --out data.hdx --kind clustered --n 50000 --digest
+//             --data-cap 33 --dir-cap 16 --threads 8
 //
 // Kinds: color64, texture48, texture60 (= landsat), isolet617, stock360
 // (surrogates of the paper's datasets, Table 1), uniform, clustered.
+//
+// --digest additionally bulk-loads a VAMSplit R*-tree over the generated
+// dataset on the process-wide pool (so --threads / HDIDX_THREADS drive the
+// parallel build) and prints its layout digest — the same value for every
+// thread count, making the build determinism checkable from the shell.
 
 #include <cstdio>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
 #include "flags.h"
+#include "index/bulk_loader.h"
+#include "index/topology.h"
 
 constexpr char kUsage[] =
     "usage: hdidx_gen --out FILE --kind KIND [--n N] [--seed S]\n"
     "                 [--dim D] [--clusters C] [--intrinsic I] [--noise F]\n"
-    "                 [--threads T]\n"
+    "                 [--threads T] [--digest] [--data-cap C] [--dir-cap C]\n"
     "       kinds: color64 texture48 texture60 landsat "
     "isolet617 stock360 uniform clustered\n";
 
@@ -28,7 +38,8 @@ int main(int argc, char** argv) {
   using namespace hdidx;
   const tools::Flags flags(argc, argv,
                            {"out", "kind", "n", "seed", "dim", "clusters",
-                            "intrinsic", "noise", "threads"});
+                            "intrinsic", "noise", "threads", "digest",
+                            "data-cap", "dir-cap"});
   flags.ExitOnError(kUsage);
   tools::ApplyThreadsFlag(flags);
 
@@ -82,5 +93,18 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %zu points x %zu dims to %s\n", dataset.size(),
               dataset.dim(), out.c_str());
+
+  if (flags.GetBool("digest")) {
+    const size_t data_cap = flags.GetUint("data-cap", 33);
+    const size_t dir_cap = flags.GetUint("dir-cap", 16);
+    const index::TreeTopology topology(dataset.size(), data_cap, dir_cap);
+    index::BulkLoadOptions options;
+    options.topology = &topology;
+    options.exec = &common::DefaultExecutionContext();
+    const index::RTree tree = index::BulkLoadInMemory(dataset, options);
+    std::printf("layout digest: %016llx (%zu nodes, %zu threads)\n",
+                static_cast<unsigned long long>(index::TreeLayoutDigest(tree)),
+                tree.num_nodes(), common::ThreadCount());
+  }
   return 0;
 }

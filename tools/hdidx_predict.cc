@@ -148,6 +148,7 @@ int main(int argc, char** argv) {
     index::ExternalBuildOptions build;
     build.topology = &topology;
     build.memory_points = memory;
+    build.exec = &common::DefaultExecutionContext();
     const index::ExternalBuildResult on_disk =
         index::BuildOnDisk(&file, build);
     io::IoStats query_io;
