@@ -7,16 +7,21 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "baselines/fractal.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "core/compensation.h"
 #include "core/mini_index.h"
+#include "core/predictor.h"
 #include "data/generators.h"
 #include "geometry/distance.h"
+#include "geometry/kernels.h"
 #include "index/bulk_loader.h"
 #include "index/knn.h"
 #include "index/topology.h"
@@ -227,6 +232,127 @@ BENCHMARK(BM_BulkLoadThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
+
+// ---------------------------------------------------------------------------
+// Kernel-mode sweep: each benchmark runs once under the scalar reference
+// (range(0) == 0, registered first so it seeds the family baseline) and
+// once under the batched geometry kernels, reporting
+//   batched            — which mode this config ran,
+//   speedup_vs_scalar  — scalar mean wall time over this config's,
+// the counter the kernel PR's acceptance targets read from the JSON output
+// (>= 3x on leaf-intersection counting and >= 2x on the k-NN scan at d=60).
+// Both modes produce bit-identical results, so the speedup is free.
+
+geometry::kernels::KernelMode SweepMode(benchmark::State& state) {
+  return state.range(0) == 0 ? geometry::kernels::KernelMode::kScalar
+                             : geometry::kernels::KernelMode::kBatched;
+}
+
+void ReportKernelSweep(benchmark::State& state, const std::string& family,
+                       geometry::kernels::KernelMode mode, double total_ns) {
+  const double mean_ns =
+      total_ns / static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  const bool batched = mode == geometry::kernels::KernelMode::kBatched;
+  if (!batched) BaselineNs(family) = mean_ns;
+  const double baseline = BaselineNs(family);
+  state.counters["batched"] = batched ? 1.0 : 0.0;
+  state.counters["speedup_vs_scalar"] =
+      baseline > 0.0 && mean_ns > 0.0 ? baseline / mean_ns : 0.0;
+}
+
+// The predictor hot loop: q=100 k-NN query spheres against every leaf MBR
+// of a 20k-point tree (the slab is built once per prediction inside
+// CountLeafIntersections and shared across queries).
+void BM_CountLeafIntersections(benchmark::State& state) {
+  const auto mode = SweepMode(state);
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const size_t n = 20000;
+  const auto data = MakeData(n, dim);
+  const index::TreeTopology topo(n, 33, 16);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  const auto tree = index::BulkLoadInMemory(data, options);
+  std::vector<geometry::BoundingBox> leaves;
+  for (uint32_t id : tree.leaf_ids()) leaves.push_back(tree.node(id).box);
+  common::Rng rng(11);
+  const auto queries = workload::QueryWorkload::Create(data, 100, 21, &rng);
+  geometry::kernels::SetKernelMode(mode);
+  double total_ns = 0.0;
+  for (auto _ : state) {
+    core::PredictionResult result;
+    const auto start = std::chrono::steady_clock::now();
+    core::CountLeafIntersections(leaves, queries, &result);
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    benchmark::DoNotOptimize(result.avg_leaf_accesses);
+  }
+  geometry::kernels::ClearKernelModeOverride();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100 *
+                          static_cast<int64_t>(leaves.size()));
+  ReportKernelSweep(state,
+                    "count_leaf_intersections_d" + std::to_string(dim), mode,
+                    total_ns);
+}
+BENCHMARK(BM_CountLeafIntersections)
+    ->Args({0, 16})->Args({1, 16})
+    ->Args({0, 60})->Args({1, 60})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+// The workload-generation hot loop: one exact 21-NN radius over 20k rows
+// per iteration, timed directly on the dispatching scan kernel.
+void BM_ExactKthScan(benchmark::State& state) {
+  const auto mode = SweepMode(state);
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const size_t n = 20000;
+  const auto data = MakeData(n, dim);
+  common::Rng rng(12);
+  double total_ns = 0.0;
+  for (auto _ : state) {
+    const size_t row = rng.NextBounded(n);
+    geometry::kernels::ScanOptions opts;
+    opts.exclude_row = row;
+    opts.exclude_row_only_if_zero = true;
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(geometry::kernels::KthDistanceScan(
+        data.row(row), data.data(), dim, 21, opts, mode));
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  ReportKernelSweep(state, "exact_kth_scan_d" + std::to_string(dim), mode,
+                    total_ns);
+}
+BENCHMARK(BM_ExactKthScan)
+    ->Args({0, 16})->Args({1, 16})
+    ->Args({0, 60})->Args({1, 60})
+    ->Iterations(2000);
+
+// Slab construction cost — the one-off price a prediction pays before the
+// batched counting starts (transpose of all leaf MBRs into SoA planes).
+void BM_SlabBuild(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const size_t n = 20000;
+  const auto data = MakeData(n, dim);
+  const index::TreeTopology topo(n, 33, 16);
+  index::BulkLoadOptions options;
+  options.topology = &topo;
+  const auto tree = index::BulkLoadInMemory(data, options);
+  std::vector<geometry::BoundingBox> leaves;
+  for (uint32_t id : tree.leaf_ids()) leaves.push_back(tree.node(id).box);
+  for (auto _ : state) {
+    geometry::kernels::BoxSlab slab{
+        std::span<const geometry::BoundingBox>(leaves)};
+    benchmark::DoNotOptimize(slab.padded_size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(leaves.size()));
+  state.counters["boxes"] = static_cast<double>(leaves.size());
+}
+BENCHMARK(BM_SlabBuild)->Arg(16)->Arg(60);
 
 // ---------------------------------------------------------------------------
 // Serving-path throughput: the same request batch through a

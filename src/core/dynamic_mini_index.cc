@@ -50,6 +50,9 @@ PredictionResult PredictDynamicRStar(const data::Dataset& data,
     }
     leaves.push_back(std::move(box));
   }
+  // Intersection counting runs on the batched geometry kernels: one SoA
+  // slab over the mini R*-tree's (optionally compensated) leaves, shared by
+  // all query chunks (HDIDX_KERNEL=scalar falls back to per-box tests).
   CountLeafIntersections(leaves, queries, &result, ctx);
   return result;
 }

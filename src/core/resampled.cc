@@ -9,6 +9,7 @@
 #include "core/compensation.h"
 #include "core/hupper.h"
 #include "geometry/distance.h"
+#include "geometry/kernels.h"
 #include "index/bulk_loader.h"
 #include "index/rtree.h"
 
@@ -18,7 +19,9 @@ namespace {
 
 /// Index of the grown upper leaf a point belongs to: the first box
 /// containing it, else the box with minimal MINDIST (squared, with early
-/// abandoning against the best so far).
+/// abandoning against the best so far). Retained scalar reference for the
+/// batched kernels::NearestBox, which computes the identical index (same
+/// accumulation order, same strict-< tie-break) from the SoA slab.
 size_t AssignToBox(std::span<const float> point,
                    const std::vector<geometry::BoundingBox>& boxes) {
   size_t best = 0;
@@ -95,6 +98,15 @@ PredictionResult PredictWithResampledTree(
   std::vector<size_t> area_fill(k, 0);  // points stored per area
   const auto raw = file->raw();
 
+  // One SoA slab over the grown upper leaves (never empty boxes), reused by
+  // every chunk's point assignment below; scalar mode keeps AssignToBox.
+  const geometry::kernels::KernelMode kernel_mode =
+      geometry::kernels::ActiveKernelMode();
+  geometry::kernels::BoxSlab leaf_slab;
+  if (kernel_mode == geometry::kernels::KernelMode::kBatched) {
+    leaf_slab = geometry::kernels::BoxSlab(std::span(upper.grown_leaves));
+  }
+
   size_t next = 0;
   std::vector<std::vector<float>> chunk_groups(k);
   while (next < resample_rows.size()) {
@@ -108,7 +120,10 @@ PredictionResult PredictWithResampledTree(
     for (size_t i = 0; i < chunk_count; ++i) {
       const size_t row = resample_rows[next + i];
       const std::span<const float> point = raw.subspan(row * dim, dim);
-      const size_t box = AssignToBox(point, upper.grown_leaves);
+      const size_t box =
+          kernel_mode == geometry::kernels::KernelMode::kBatched
+              ? geometry::kernels::NearestBox(point, leaf_slab, kernel_mode)
+              : AssignToBox(point, upper.grown_leaves);
       chunk_groups[box].insert(chunk_groups[box].end(), point.begin(),
                                point.end());
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -56,7 +57,23 @@ double BoundingSphere::MinDist(std::span<const float> point) const {
 
 bool BoundingSphere::IntersectsSphere(std::span<const float> center,
                                       double radius) const {
-  return MinDist(center) <= radius;
+  HDIDX_CHECK(radius >= 0.0) << "query sphere radius must be non-negative";
+  HDIDX_CHECK(center.size() == center_.size());
+  if (empty_) {
+    // MinDist to an empty sphere is +inf; only an infinite radius reaches
+    // it (the old `MinDist(center) <= radius` behaved the same way).
+    return std::numeric_limits<double>::infinity() <= radius;
+  }
+  // Sqrt-free: centers within radius_ + radius of each other, compared in
+  // the squared domain. One multiply replaces the per-sphere sqrt the
+  // sstree page-counting loop used to pay for every page.
+  double s = 0.0;
+  for (size_t k = 0; k < center_.size(); ++k) {
+    const double diff = static_cast<double>(center[k]) - center_[k];
+    s += diff * diff;
+  }
+  const double reach = radius_ + radius;
+  return s <= reach * reach;
 }
 
 void BoundingSphere::InflateRadius(double factor) {

@@ -43,7 +43,7 @@ double MinDist(std::span<const float> point, const BoundingBox& box) {
   return std::sqrt(SquaredMinDist(point, box));
 }
 
-double MaxDist(std::span<const float> point, const BoundingBox& box) {
+double SquaredMaxDist(std::span<const float> point, const BoundingBox& box) {
   HDIDX_DCHECK(point.size() == box.dim());
   if (box.empty()) return 0.0;
   double s = 0.0;
@@ -55,12 +55,23 @@ double MaxDist(std::span<const float> point, const BoundingBox& box) {
     const double diff = std::max(to_lo, to_hi);
     s += diff * diff;
   }
-  return std::sqrt(s);
+  return s;
+}
+
+double MaxDist(std::span<const float> point, const BoundingBox& box) {
+  return std::sqrt(SquaredMaxDist(point, box));
 }
 
 bool SphereIntersectsBox(std::span<const float> center, double radius,
                          const BoundingBox& box) {
+  HDIDX_CHECK(radius >= 0.0) << "query sphere radius must be non-negative";
   return SquaredMinDist(center, box) <= radius * radius;
+}
+
+bool SphereCoversBox(std::span<const float> center, double radius,
+                     const BoundingBox& box) {
+  HDIDX_CHECK(radius >= 0.0) << "query sphere radius must be non-negative";
+  return SquaredMaxDist(center, box) <= radius * radius;
 }
 
 double UnitSphereVolume(size_t dim) {

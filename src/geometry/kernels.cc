@@ -1,0 +1,480 @@
+#include "geometry/kernels.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <queue>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace hdidx::geometry::kernels {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr size_t kBlock = BoxSlab::kBlock;
+
+// Test/bench override for the kernel mode; -1 = no override, the
+// HDIDX_KERNEL environment default applies.  (hdidx-lint: allow-global)
+std::atomic<int> g_mode_override{-1};
+
+/// The per-dimension MINDIST term, branchless: max(0, lo - q, q - hi) as
+/// doubles. Bit-identical to the branches in geometry::SquaredMinDist
+/// (whichever side is positive is the same subtraction), and the std::max
+/// argument order makes a NaN coordinate yield 0 exactly like both scalar
+/// branches failing.
+inline double MinDistTerm(double q, float lo, float hi) {
+  return std::max(std::max(0.0, static_cast<double>(lo) - q),
+                  q - static_cast<double>(hi));
+}
+
+/// SquaredMinDist of `center` to slab lane `b`, full accumulation in
+/// dimension order. Sentinel lanes (empty boxes, padding) accumulate +inf —
+/// the value geometry::SquaredMinDist returns for an empty box.
+double LaneSquaredMinDist(std::span<const float> center, const BoxSlab& slab,
+                          size_t b) {
+  double s = 0.0;
+  for (size_t d = 0; d < slab.dim(); ++d) {
+    const double diff = MinDistTerm(center[d], slab.lo_plane(d)[b],
+                                    slab.hi_plane(d)[b]);
+    s += diff * diff;
+  }
+  return s;
+}
+
+/// Accumulates one block of kBlock lanes at `base` with the batched
+/// early-exit: once every real lane's partial sum exceeds `threshold` the
+/// rest of the dimensions cannot change any comparison against it (sums of
+/// squares only grow), so the block is abandoned. Returns false on
+/// abandonment; acc[l] holds each lane's full sum otherwise.
+bool AccumulateSphereBlock(std::span<const float> center, const BoxSlab& slab,
+                           size_t base, size_t lanes, double threshold,
+                           std::array<double, kBlock>* acc) {
+  acc->fill(0.0);
+  const size_t dim = slab.dim();
+  for (size_t d = 0; d < dim; ++d) {
+    const double q = center[d];
+    const float* lo = slab.lo_plane(d) + base;
+    const float* hi = slab.hi_plane(d) + base;
+    for (size_t l = 0; l < kBlock; ++l) {
+      const double diff = MinDistTerm(q, lo[l], hi[l]);
+      (*acc)[l] += diff * diff;
+    }
+    if ((d & 7) == 7 && d + 1 < dim) {
+      bool all_over = true;
+      for (size_t l = 0; l < lanes; ++l) all_over &= (*acc)[l] > threshold;
+      if (all_over) return false;
+    }
+  }
+  return true;
+}
+
+/// KnnHeap's exact semantics (bounded max-heap of the k smallest squared
+/// distances), local so the geometry layer does not depend on index/.
+class BoundedDistanceHeap {
+ public:
+  explicit BoundedDistanceHeap(size_t k) : k_(k) {}
+
+  void Push(double d2) {
+    if (heap_.size() < k_) {
+      heap_.push(d2);
+    } else if (d2 < heap_.top()) {
+      heap_.pop();
+      heap_.push(d2);
+    }
+  }
+
+  /// Current k-th smallest squared distance; +inf until k were collected.
+  double Threshold() const { return heap_.size() == k_ ? heap_.top() : kInf; }
+
+ private:
+  size_t k_;
+  std::priority_queue<double> heap_;
+};
+
+/// Bounded max-heap of the k smallest (squared distance, row) pairs under
+/// pair ordering — retains exactly the first k elements a partial_sort of
+/// all pairs would produce (rows are unique, so the order is total).
+class BoundedPairHeap {
+ public:
+  explicit BoundedPairHeap(size_t k) : k_(k) {}
+
+  void Push(double d2, size_t row) {
+    const std::pair<double, size_t> p(d2, row);
+    if (heap_.size() < k_) {
+      heap_.push(p);
+    } else if (p < heap_.top()) {
+      heap_.pop();
+      heap_.push(p);
+    }
+  }
+
+  double Threshold() const {
+    return heap_.size() == k_ ? heap_.top().first : kInf;
+  }
+
+  std::vector<std::pair<double, size_t>> TakeSortedAscending() {
+    std::vector<std::pair<double, size_t>> result(heap_.size());
+    for (size_t i = heap_.size(); i > 0; --i) {
+      result[i - 1] = heap_.top();
+      heap_.pop();
+    }
+    return result;
+  }
+
+ private:
+  size_t k_;
+  std::priority_queue<std::pair<double, size_t>> heap_;
+};
+
+/// Shared skeleton of the two k-NN scan kernels: streams rows in order,
+/// applies the exclusion rules, and feeds `push(d2, row)`. `threshold()`
+/// returns the current no-op-push bound (k-th distance once k rows were
+/// collected); a batched block abandons once every lane's partial sum
+/// exceeds the bound captured at block start — the bound only shrinks, so
+/// an abandoned row's push would have been a no-op.
+template <typename Heap>
+void ScanRows(std::span<const float> query, std::span<const float> rows,
+              size_t dim, const ScanOptions& opts, KernelMode mode,
+              Heap* heap) {
+  HDIDX_CHECK(dim > 0);
+  HDIDX_CHECK(rows.size() % dim == 0);
+  HDIDX_CHECK(query.size() == dim);
+  const size_t n = rows.size() / dim;
+  const float* base_ptr = rows.data();
+
+  const auto consider = [&](size_t row, double d2) {
+    if (row == opts.exclude_row) {
+      // Unconditional exclusion (the query's own row), or the accounted
+      // scan's rule: only skip the row when it sits at distance zero, so
+      // duplicates of the query point still count as neighbors.
+      if (!opts.exclude_row_only_if_zero) return;
+      if (d2 <= 0.0) return;
+    }
+    if (d2 <= opts.exclude_within_sq) return;
+    heap->Push(d2, row);
+  };
+
+  const auto scalar_row = [&](size_t row) {
+    if (row == opts.exclude_row && !opts.exclude_row_only_if_zero) return;
+    const float* p = base_ptr + row * dim;
+    double d2 = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = static_cast<double>(p[d]) - query[d];
+      d2 += diff * diff;
+    }
+    consider(row, d2);
+  };
+
+  size_t next = 0;
+  if (mode == KernelMode::kBatched) {
+    std::array<double, kBlock> acc;
+    for (; next + kBlock <= n; next += kBlock) {
+      const double threshold = heap->Threshold();
+      acc.fill(0.0);
+      bool abandoned = false;
+      for (size_t d = 0; d < dim; ++d) {
+        const double q = query[d];
+        const float* p = base_ptr + next * dim + d;
+        for (size_t l = 0; l < kBlock; ++l) {
+          const double diff = static_cast<double>(p[l * dim]) - q;
+          acc[l] += diff * diff;
+        }
+        if ((d & 7) == 7 && d + 1 < dim) {
+          bool all_over = true;
+          for (size_t l = 0; l < kBlock; ++l) all_over &= acc[l] > threshold;
+          if (all_over) {
+            abandoned = true;
+            break;
+          }
+        }
+      }
+      // Abandonment needs a full heap (threshold < +inf), so the skipped
+      // pushes were no-ops and the exclusion rules are moot for them too:
+      // every abandoned lane has d2 > threshold >= 0.
+      if (abandoned) continue;
+      for (size_t l = 0; l < kBlock; ++l) consider(next + l, acc[l]);
+    }
+  }
+  for (; next < n; ++next) scalar_row(next);
+}
+
+/// Adapter so BoundedDistanceHeap fits the ScanRows push signature.
+struct DistanceHeapAdapter {
+  BoundedDistanceHeap heap;
+  explicit DistanceHeapAdapter(size_t k) : heap(k) {}
+  void Push(double d2, size_t) { heap.Push(d2); }
+  double Threshold() const { return heap.Threshold(); }
+};
+
+}  // namespace
+
+KernelMode ActiveKernelMode() {
+  const int forced = g_mode_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<KernelMode>(forced);
+  static const KernelMode from_env = [] {
+    const char* env = std::getenv("HDIDX_KERNEL");
+    if (env != nullptr && std::string_view(env) == "scalar") {
+      return KernelMode::kScalar;
+    }
+    return KernelMode::kBatched;
+  }();
+  return from_env;
+}
+
+void SetKernelMode(KernelMode mode) {
+  g_mode_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void ClearKernelModeOverride() {
+  g_mode_override.store(-1, std::memory_order_relaxed);
+}
+
+void BoxSlab::Fill(size_t count, size_t dim,
+                   const BoundingBox& (*get)(const void*, size_t),
+                   const void* ctx) {
+  size_ = count;
+  dim_ = dim;
+  padded_ = (count + kBlock - 1) / kBlock * kBlock;
+  lo_.assign(dim_ * padded_, std::numeric_limits<float>::infinity());
+  hi_.assign(dim_ * padded_, -std::numeric_limits<float>::infinity());
+  for (size_t b = 0; b < count; ++b) {
+    const BoundingBox& box = get(ctx, b);
+    HDIDX_CHECK(box.dim() == dim_);
+    if (box.empty()) continue;  // keep the sentinel: infinitely far
+    for (size_t d = 0; d < dim_; ++d) {
+      lo_[d * padded_ + b] = box.lo()[d];
+      hi_[d * padded_ + b] = box.hi()[d];
+    }
+  }
+}
+
+BoxSlab::BoxSlab(std::span<const BoundingBox> boxes) {
+  if (boxes.empty()) return;
+  Fill(
+      boxes.size(), boxes[0].dim(),
+      [](const void* ctx, size_t i) -> const BoundingBox& {
+        return static_cast<const BoundingBox*>(ctx)[i];
+      },
+      boxes.data());
+}
+
+BoxSlab::BoxSlab(std::span<const BoundingBox* const> boxes) {
+  if (boxes.empty()) return;
+  Fill(
+      boxes.size(), boxes[0]->dim(),
+      [](const void* ctx, size_t i) -> const BoundingBox& {
+        return *static_cast<const BoundingBox* const*>(ctx)[i];
+      },
+      boxes.data());
+}
+
+size_t CountSphereHits(std::span<const float> center, double r2,
+                       const BoxSlab& slab) {
+  return CountSphereHits(center, r2, slab, ActiveKernelMode());
+}
+
+size_t CountSphereHits(std::span<const float> center, double r2,
+                       const BoxSlab& slab, KernelMode mode) {
+  if (slab.size() == 0) return 0;
+  HDIDX_CHECK(center.size() == slab.dim());
+  size_t count = 0;
+  if (mode == KernelMode::kScalar) {
+    for (size_t b = 0; b < slab.size(); ++b) {
+      if (LaneSquaredMinDist(center, slab, b) <= r2) ++count;
+    }
+    return count;
+  }
+  std::array<double, kBlock> acc;
+  for (size_t base = 0; base < slab.size(); base += kBlock) {
+    const size_t lanes = std::min(kBlock, slab.size() - base);
+    if (!AccumulateSphereBlock(center, slab, base, lanes, r2, &acc)) continue;
+    for (size_t l = 0; l < lanes; ++l) {
+      if (acc[l] <= r2) ++count;
+    }
+  }
+  return count;
+}
+
+void AppendSphereHits(std::span<const float> center, double r2,
+                      const BoxSlab& slab, std::vector<uint32_t>* hits) {
+  AppendSphereHits(center, r2, slab, hits, ActiveKernelMode());
+}
+
+void AppendSphereHits(std::span<const float> center, double r2,
+                      const BoxSlab& slab, std::vector<uint32_t>* hits,
+                      KernelMode mode) {
+  if (slab.size() == 0) return;
+  HDIDX_CHECK(center.size() == slab.dim());
+  if (mode == KernelMode::kScalar) {
+    for (size_t b = 0; b < slab.size(); ++b) {
+      if (LaneSquaredMinDist(center, slab, b) <= r2) {
+        hits->push_back(static_cast<uint32_t>(b));
+      }
+    }
+    return;
+  }
+  std::array<double, kBlock> acc;
+  for (size_t base = 0; base < slab.size(); base += kBlock) {
+    const size_t lanes = std::min(kBlock, slab.size() - base);
+    if (!AccumulateSphereBlock(center, slab, base, lanes, r2, &acc)) continue;
+    for (size_t l = 0; l < lanes; ++l) {
+      if (acc[l] <= r2) hits->push_back(static_cast<uint32_t>(base + l));
+    }
+  }
+}
+
+size_t CountBoxHits(const BoundingBox& query, const BoxSlab& slab) {
+  return CountBoxHits(query, slab, ActiveKernelMode());
+}
+
+size_t CountBoxHits(const BoundingBox& query, const BoxSlab& slab,
+                    KernelMode mode) {
+  if (slab.size() == 0 || query.empty()) return 0;
+  HDIDX_CHECK(query.dim() == slab.dim());
+  const size_t dim = slab.dim();
+  size_t count = 0;
+  if (mode == KernelMode::kScalar) {
+    for (size_t b = 0; b < slab.size(); ++b) {
+      bool alive = true;
+      for (size_t d = 0; d < dim; ++d) {
+        if (slab.lo_plane(d)[b] > query.hi()[d] ||
+            query.lo()[d] > slab.hi_plane(d)[b]) {
+          alive = false;
+          break;
+        }
+      }
+      if (alive) ++count;
+    }
+    return count;
+  }
+  std::array<bool, kBlock> alive;
+  for (size_t base = 0; base < slab.size(); base += kBlock) {
+    const size_t lanes = std::min(kBlock, slab.size() - base);
+    alive.fill(true);
+    for (size_t d = 0; d < dim; ++d) {
+      const float q_lo = query.lo()[d];
+      const float q_hi = query.hi()[d];
+      const float* lo = slab.lo_plane(d) + base;
+      const float* hi = slab.hi_plane(d) + base;
+      for (size_t l = 0; l < kBlock; ++l) {
+        alive[l] = alive[l] && !(lo[l] > q_hi || q_lo > hi[l]);
+      }
+      if ((d & 7) == 7 && d + 1 < dim) {
+        bool any = false;
+        for (size_t l = 0; l < lanes; ++l) any |= alive[l];
+        if (!any) break;
+      }
+    }
+    for (size_t l = 0; l < lanes; ++l) {
+      if (alive[l]) ++count;
+    }
+  }
+  return count;
+}
+
+size_t NearestBox(std::span<const float> point, const BoxSlab& slab) {
+  return NearestBox(point, slab, ActiveKernelMode());
+}
+
+size_t NearestBox(std::span<const float> point, const BoxSlab& slab,
+                  KernelMode mode) {
+  HDIDX_CHECK(slab.size() > 0);
+  HDIDX_CHECK(point.size() == slab.dim());
+  size_t best = 0;
+  double best_d2 = kInf;
+  if (mode == KernelMode::kScalar) {
+    for (size_t b = 0; b < slab.size(); ++b) {
+      double d2 = 0.0;
+      for (size_t d = 0; d < slab.dim(); ++d) {
+        const double diff = MinDistTerm(point[d], slab.lo_plane(d)[b],
+                                        slab.hi_plane(d)[b]);
+        d2 += diff * diff;
+        if (d2 >= best_d2) break;
+      }
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = b;
+        if (d2 == 0.0) break;  // containment: no closer box exists
+      }
+    }
+    return best;
+  }
+  std::array<double, kBlock> acc;
+  for (size_t base = 0; base < slab.size(); base += kBlock) {
+    const size_t lanes = std::min(kBlock, slab.size() - base);
+    // A lane whose partial sum already reaches best_d2 cannot win (the
+    // update is strict <). AccumulateSphereBlock abandons on partial >
+    // threshold, so pass the largest double still allowed to win:
+    // nextafter(best_d2, 0) — for positive finite best_d2 (0 returns
+    // early), acc > nextafter(best_d2, 0) iff acc >= best_d2.
+    const double threshold =
+        best_d2 == kInf ? kInf : std::nextafter(best_d2, 0.0);
+    if (!AccumulateSphereBlock(point, slab, base, lanes, threshold, &acc)) {
+      continue;
+    }
+    for (size_t l = 0; l < lanes; ++l) {
+      if (acc[l] < best_d2) {
+        best_d2 = acc[l];
+        best = base + l;
+        if (best_d2 == 0.0) return best;
+      }
+    }
+  }
+  return best;
+}
+
+void BatchedSquaredL2(std::span<const float> query, const float* rows,
+                      size_t count, size_t dim, double* out) {
+  HDIDX_CHECK(dim > 0);
+  HDIDX_CHECK(query.size() == dim);
+  std::array<double, kBlock> acc;
+  for (size_t base = 0; base < count; base += kBlock) {
+    const size_t lanes = std::min(kBlock, count - base);
+    acc.fill(0.0);
+    for (size_t d = 0; d < dim; ++d) {
+      const double q = query[d];
+      const float* p = rows + base * dim + d;
+      for (size_t l = 0; l < lanes; ++l) {
+        const double diff = static_cast<double>(p[l * dim]) - q;
+        acc[l] += diff * diff;
+      }
+    }
+    for (size_t l = 0; l < lanes; ++l) out[base + l] = acc[l];
+  }
+}
+
+double KthDistanceScan(std::span<const float> query,
+                       std::span<const float> rows, size_t dim, size_t k,
+                       const ScanOptions& opts) {
+  return KthDistanceScan(query, rows, dim, k, opts, ActiveKernelMode());
+}
+
+double KthDistanceScan(std::span<const float> query,
+                       std::span<const float> rows, size_t dim, size_t k,
+                       const ScanOptions& opts, KernelMode mode) {
+  HDIDX_CHECK(k > 0);
+  DistanceHeapAdapter heap(k);
+  ScanRows(query, rows, dim, opts, mode, &heap);
+  return heap.Threshold();
+}
+
+std::vector<std::pair<double, size_t>> TopKNeighborScan(
+    std::span<const float> query, std::span<const float> rows, size_t dim,
+    size_t k, const ScanOptions& opts) {
+  return TopKNeighborScan(query, rows, dim, k, opts, ActiveKernelMode());
+}
+
+std::vector<std::pair<double, size_t>> TopKNeighborScan(
+    std::span<const float> query, std::span<const float> rows, size_t dim,
+    size_t k, const ScanOptions& opts, KernelMode mode) {
+  if (k == 0) return {};
+  BoundedPairHeap heap(k);
+  ScanRows(query, rows, dim, opts, mode, &heap);
+  return heap.TakeSortedAscending();
+}
+
+}  // namespace hdidx::geometry::kernels

@@ -1,0 +1,170 @@
+#ifndef HDIDX_GEOMETRY_KERNELS_H_
+#define HDIDX_GEOMETRY_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geometry/bounding_box.h"
+
+namespace hdidx::geometry::kernels {
+
+/// Which implementation the dispatching kernel entry points run.
+///
+/// kScalar is the retained reference: one candidate at a time, exactly the
+/// loops the library shipped with. kBatched evaluates one query against many
+/// candidates at once, vectorizing *across* candidates — never within a
+/// single distance reduction — so every individual distance keeps the
+/// scalar accumulation order and every count, radius, and assignment is
+/// bit-identical to the scalar mode. Early exits only ever use the fact
+/// that adding a non-negative term to a non-negative IEEE double is
+/// monotone, so abandoning a candidate whose partial sum already exceeds
+/// the decision threshold cannot change any decision.
+enum class KernelMode { kScalar, kBatched };
+
+/// The mode the dispatching kernels run in: the process-wide override if one
+/// is set (tests/benches), else the HDIDX_KERNEL environment variable
+/// ("scalar" or "batched", read once), else kBatched.
+KernelMode ActiveKernelMode();
+
+/// Process-wide mode override (A/B tests compare both modes in one
+/// process). Thread-safe; flip only between queries, not during one.
+void SetKernelMode(KernelMode mode);
+
+/// Removes the override, falling back to HDIDX_KERNEL / the default.
+void ClearKernelModeOverride();
+
+/// Sentinel for ScanOptions::exclude_row: exclude nothing.
+inline constexpr size_t kNoRow = static_cast<size_t>(-1);
+
+/// Structure-of-arrays layout over a set of MBRs: for every dimension d a
+/// contiguous plane of lo values and a plane of hi values across all boxes,
+/// padded to a multiple of kBlock lanes so kernels process fixed-width
+/// blocks without tail branches.
+///
+/// Padding lanes and empty boxes store the sentinel (lo=+inf, hi=-inf):
+/// any query coordinate is "outside" by an infinite margin, so their
+/// accumulated distance is +inf — exactly SquaredMinDist's value for an
+/// empty box — and a box-overlap test fails in every dimension. Padding
+/// lanes are additionally excluded from all results by index bound.
+class BoxSlab {
+ public:
+  /// Lanes per kernel block; the padded size is a multiple of this.
+  static constexpr size_t kBlock = 8;
+
+  /// An empty slab (size() == 0). Dispatching call sites use this as the
+  /// "no slab built" placeholder on the scalar path.
+  BoxSlab() = default;
+
+  /// Builds the slab over `boxes` (all of equal dimensionality).
+  explicit BoxSlab(std::span<const BoundingBox> boxes);
+
+  /// Builds the slab over boxes reached through pointers (used by tree
+  /// nodes, whose child boxes are not contiguous in memory).
+  explicit BoxSlab(std::span<const BoundingBox* const> boxes);
+
+  /// Number of real boxes.
+  size_t size() const { return size_; }
+  /// Dimensionality (0 for an empty slab).
+  size_t dim() const { return dim_; }
+  /// size() rounded up to a multiple of kBlock.
+  size_t padded_size() const { return padded_; }
+
+  /// Plane of lo (resp. hi) coordinates of dimension `d` across all
+  /// padded_size() lanes.
+  const float* lo_plane(size_t d) const { return lo_.data() + d * padded_; }
+  const float* hi_plane(size_t d) const { return hi_.data() + d * padded_; }
+
+ private:
+  void Fill(size_t count, size_t dim,
+            const BoundingBox& (*get)(const void*, size_t), const void* ctx);
+
+  size_t size_ = 0;
+  size_t dim_ = 0;
+  size_t padded_ = 0;
+  std::vector<float> lo_;  // dim_ planes of padded_ floats each
+  std::vector<float> hi_;
+};
+
+/// Number of slab boxes whose SquaredMinDist to `center` is <= r2 — i.e.
+/// how many page MBRs a query sphere with squared radius r2 intersects.
+/// Decision-identical to testing SquaredMinDist(center, box) <= r2 per box
+/// (empty boxes count only when r2 is +inf, matching their infinite
+/// SquaredMinDist). The batched path abandons a block once every lane's
+/// partial sum exceeds r2.
+size_t CountSphereHits(std::span<const float> center, double r2,
+                       const BoxSlab& slab);
+size_t CountSphereHits(std::span<const float> center, double r2,
+                       const BoxSlab& slab, KernelMode mode);
+
+/// Appends (in ascending order) the indices of slab boxes whose
+/// SquaredMinDist to `center` is <= r2. The mask variant of CountSphereHits,
+/// used by tree traversals that must recurse into the hit children.
+void AppendSphereHits(std::span<const float> center, double r2,
+                      const BoxSlab& slab, std::vector<uint32_t>* hits);
+void AppendSphereHits(std::span<const float> center, double r2,
+                      const BoxSlab& slab, std::vector<uint32_t>* hits,
+                      KernelMode mode);
+
+/// Number of slab boxes intersecting `query` (BoundingBox::Intersects
+/// semantics: empty boxes intersect nothing).
+size_t CountBoxHits(const BoundingBox& query, const BoxSlab& slab);
+size_t CountBoxHits(const BoundingBox& query, const BoxSlab& slab,
+                    KernelMode mode);
+
+/// Index of the first slab box attaining the minimal SquaredMinDist to
+/// `point` (ties broken towards the lowest index; containment — distance
+/// exactly 0 — short-circuits). Empty boxes are infinitely far and are
+/// never chosen unless every box is empty (then index 0). Requires
+/// slab.size() > 0.
+size_t NearestBox(std::span<const float> point, const BoxSlab& slab);
+size_t NearestBox(std::span<const float> point, const BoxSlab& slab,
+                  KernelMode mode);
+
+/// out[i] = SquaredL2(query, rows[i]) for `count` row-major rows, each
+/// accumulated in the scalar dimension order (bit-identical to per-row
+/// SquaredL2).
+void BatchedSquaredL2(std::span<const float> query, const float* rows,
+                      size_t count, size_t dim, double* out);
+
+/// Row-exclusion rules shared by the k-NN scan kernels; mirrors the three
+/// scalar loops the kernels replace.
+struct ScanOptions {
+  /// This row is skipped (kNoRow: none). With exclude_row_only_if_zero the
+  /// row is only skipped when its squared distance is <= 0 — the accounted
+  /// workload scan's "exclude the query itself, keep duplicates" rule.
+  size_t exclude_row = kNoRow;
+  bool exclude_row_only_if_zero = false;
+  /// Rows at squared distance <= this are skipped (ExactKthDistance's
+  /// exclusion band). The default excludes nothing.
+  double exclude_within_sq = -std::numeric_limits<double>::infinity();
+};
+
+/// k-th smallest squared L2 distance from `query` to the n = rows.size() /
+/// dim row-major rows that pass `opts` (+inf when fewer than k qualify).
+/// Heap semantics and accumulation order match the scalar KnnHeap loop
+/// exactly; the batched path abandons a row once its partial sum exceeds
+/// the current k-th threshold (a no-op push either way).
+double KthDistanceScan(std::span<const float> query,
+                       std::span<const float> rows, size_t dim, size_t k,
+                       const ScanOptions& opts);
+double KthDistanceScan(std::span<const float> query,
+                       std::span<const float> rows, size_t dim, size_t k,
+                       const ScanOptions& opts, KernelMode mode);
+
+/// The k nearest rows as (squared distance, row) pairs in ascending order
+/// (ties towards the lower row index — identical to partial_sort over all
+/// pairs). Fewer than k pairs when fewer rows qualify.
+std::vector<std::pair<double, size_t>> TopKNeighborScan(
+    std::span<const float> query, std::span<const float> rows, size_t dim,
+    size_t k, const ScanOptions& opts);
+std::vector<std::pair<double, size_t>> TopKNeighborScan(
+    std::span<const float> query, std::span<const float> rows, size_t dim,
+    size_t k, const ScanOptions& opts, KernelMode mode);
+
+}  // namespace hdidx::geometry::kernels
+
+#endif  // HDIDX_GEOMETRY_KERNELS_H_

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "geometry/distance.h"
+#include "geometry/kernels.h"
 
 namespace hdidx::index {
 
@@ -27,41 +28,63 @@ double KnnHeap::KthSquared() const {
 
 double KnnHeap::Kth() const { return std::sqrt(KthSquared()); }
 
+KnnPairHeap::KnnPairHeap(size_t k) : k_(k) { HDIDX_CHECK(k > 0); }
+
+void KnnPairHeap::Push(double squared_distance, size_t row) {
+  const std::pair<double, size_t> p(squared_distance, row);
+  if (heap_.size() < k_) {
+    heap_.push(p);
+  } else if (p < heap_.top()) {
+    heap_.pop();
+    heap_.push(p);
+  }
+}
+
+double KnnPairHeap::KthSquared() const {
+  if (!full()) return std::numeric_limits<double>::infinity();
+  return heap_.top().first;
+}
+
+std::vector<std::pair<double, size_t>> KnnPairHeap::TakeSortedAscending() {
+  std::vector<std::pair<double, size_t>> result(heap_.size());
+  for (size_t i = heap_.size(); i > 0; --i) {
+    result[i - 1] = heap_.top();
+    heap_.pop();
+  }
+  return result;
+}
+
+// The three exact scans below run on the batched kernels (vectorized across
+// rows with partial-distance early termination against the k-th heap
+// threshold); the kernel's scalar mode and the equivalence battery pin them
+// to the original per-row SquaredL2 + KnnHeap loops bit for bit.
+
 double ExactKthDistance(const data::Dataset& data,
                         std::span<const float> query, size_t k,
                         double exclude_within_sq) {
-  KnnHeap heap(k);
-  for (size_t i = 0; i < data.size(); ++i) {
-    const double d2 = geometry::SquaredL2(data.row(i), query);
-    if (d2 <= exclude_within_sq) continue;
-    heap.Push(d2);
-  }
-  return heap.Kth();
+  geometry::kernels::ScanOptions opts;
+  opts.exclude_within_sq = exclude_within_sq;
+  return std::sqrt(
+      geometry::kernels::KthDistanceScan(query, data.data(), data.dim(), k,
+                                         opts));
 }
 
 double ExactKthDistanceExcludingRow(const data::Dataset& data,
                                     std::span<const float> query, size_t k,
                                     size_t exclude_row) {
-  KnnHeap heap(k);
-  for (size_t i = 0; i < data.size(); ++i) {
-    if (i == exclude_row) continue;
-    heap.Push(geometry::SquaredL2(data.row(i), query));
-  }
-  return heap.Kth();
+  geometry::kernels::ScanOptions opts;
+  opts.exclude_row = exclude_row;
+  return std::sqrt(
+      geometry::kernels::KthDistanceScan(query, data.data(), data.dim(), k,
+                                         opts));
 }
 
 std::vector<size_t> ExactKnn(const data::Dataset& data,
                              std::span<const float> query, size_t k) {
-  std::vector<std::pair<double, size_t>> all;
-  all.reserve(data.size());
-  for (size_t i = 0; i < data.size(); ++i) {
-    all.emplace_back(geometry::SquaredL2(data.row(i), query), i);
-  }
-  const size_t take = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(take),
-                    all.end());
-  std::vector<size_t> result(take);
-  for (size_t i = 0; i < take; ++i) result[i] = all[i].second;
+  const auto pairs = geometry::kernels::TopKNeighborScan(
+      query, data.data(), data.dim(), k, geometry::kernels::ScanOptions());
+  std::vector<size_t> result(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) result[i] = pairs[i].second;
   return result;
 }
 
@@ -83,40 +106,37 @@ TreeKnnResult TreeKnnSearch(const RTree& tree, const data::Dataset& data,
   queue.push({geometry::SquaredMinDist(query, tree.node(tree.root()).box),
               tree.root()});
 
-  std::vector<std::pair<double, size_t>> candidates;  // (dist^2, row)
-  auto kth_sq = [&]() {
-    return candidates.size() < k ? std::numeric_limits<double>::infinity()
-                                 : candidates[k - 1].first;
-  };
+  // Bounded pair-heap of the k best candidates. The old loop appended every
+  // leaf's points to a vector and re-sorted the whole vector per leaf;
+  // KnnPairHeap keeps the same pair ordering (so retention, neighbor order
+  // and the pruning bound are unchanged) at O(log k) per point.
+  KnnPairHeap candidates(k);
 
   while (!queue.empty()) {
     const Entry top = queue.top();
     queue.pop();
-    if (top.min_dist_sq > kth_sq()) break;
+    if (top.min_dist_sq > candidates.KthSquared()) break;
     const RTreeNode& n = tree.node(top.node);
     if (n.is_leaf()) {
       ++result.accesses.leaf_accesses;
       for (uint32_t pos = n.start; pos < n.start + n.count; ++pos) {
         const size_t row = tree.OrderedIndex(pos);
-        const double d2 = geometry::SquaredL2(data.row(row), query);
-        candidates.emplace_back(d2, row);
+        candidates.Push(geometry::SquaredL2(data.row(row), query), row);
       }
-      std::sort(candidates.begin(), candidates.end());
-      if (candidates.size() > k) candidates.resize(k);
     } else {
       ++result.accesses.dir_accesses;
       for (uint32_t child : n.children) {
         const double d2 =
             geometry::SquaredMinDist(query, tree.node(child).box);
-        if (d2 <= kth_sq()) queue.push({d2, child});
+        if (d2 <= candidates.KthSquared()) queue.push({d2, child});
       }
     }
   }
 
-  const size_t take = std::min(k, candidates.size());
-  result.neighbors.resize(take);
-  for (size_t i = 0; i < take; ++i) result.neighbors[i] = candidates[i].second;
-  result.kth_distance = take > 0 ? std::sqrt(candidates[take - 1].first) : 0.0;
+  const auto best = candidates.TakeSortedAscending();
+  result.neighbors.resize(best.size());
+  for (size_t i = 0; i < best.size(); ++i) result.neighbors[i] = best[i].second;
+  result.kth_distance = best.empty() ? 0.0 : std::sqrt(best.back().first);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <queue>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -38,6 +39,36 @@ class KnnHeap {
  private:
   size_t k_;
   std::priority_queue<double> heap_;  // max-heap of squared distances
+};
+
+/// Bounded max-heap of the k nearest (squared distance, row) pairs under
+/// pair ordering — rows are unique, so retention and final order are
+/// identical to sorting all pairs and truncating to k (the tie-break the
+/// tree search's candidate list used). Replaces the per-leaf
+/// append-sort-truncate of the old TreeKnnSearch loop.
+class KnnPairHeap {
+ public:
+  explicit KnnPairHeap(size_t k);
+
+  /// Offers one candidate.
+  void Push(double squared_distance, size_t row);
+
+  /// True once k candidates have been collected.
+  bool full() const { return heap_.size() == k_; }
+
+  size_t size() const { return heap_.size(); }
+
+  /// Current k-th smallest squared distance; +inf until full() — the same
+  /// pruning bound the sorted candidate list exposed as candidates[k-1].
+  double KthSquared() const;
+
+  /// The retained pairs in ascending (distance, row) order; consumes the
+  /// heap.
+  std::vector<std::pair<double, size_t>> TakeSortedAscending();
+
+ private:
+  size_t k_;
+  std::priority_queue<std::pair<double, size_t>> heap_;
 };
 
 /// Exact distance from `query` to its k-th nearest neighbor in `data` by

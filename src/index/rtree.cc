@@ -24,6 +24,7 @@ uint32_t RTree::AddLeaf(geometry::BoundingBox box, uint32_t level,
   node.count = count;
   const uint32_t id = static_cast<uint32_t>(nodes_.size());
   nodes_.push_back(std::move(node));
+  child_slabs_.emplace_back();
   leaf_ids_.push_back(id);
   return id;
 }
@@ -32,18 +33,28 @@ uint32_t RTree::AddDirectory(uint32_t level, std::vector<uint32_t> children) {
   HDIDX_CHECK(!children.empty());
   RTreeNode node(dim_);
   node.level = level;
+  std::vector<const geometry::BoundingBox*> child_boxes;
+  child_boxes.reserve(children.size());
   for (uint32_t child : children) {
     HDIDX_CHECK(child < nodes_.size());
     node.box.ExtendBox(nodes_[child].box);
+    child_boxes.push_back(&nodes_[child].box);
   }
   node.children = std::move(children);
   const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  // Child MBRs are final once their nodes exist (construction is bottom-up
+  // and boxes are never mutated afterwards), so the slab copies them now
+  // and serves the node's whole lifetime. Built before the push_back below:
+  // growing nodes_ relocates the child boxes the pointers reference.
+  child_slabs_.emplace_back(std::span<const geometry::BoundingBox* const>(
+      child_boxes.data(), child_boxes.size()));
   nodes_.push_back(std::move(node));
   return id;
 }
 
 RTree::AccessCount RTree::CountSphereAccesses(std::span<const float> center,
                                               double radius) const {
+  HDIDX_CHECK(radius >= 0.0) << "query sphere radius must be non-negative";
   AccessCount count;
   if (nodes_.empty()) return count;
   const double r2 = radius * radius;
@@ -58,6 +69,35 @@ RTree::AccessCount RTree::CountSphereAccesses(std::span<const float> center,
   }
   count.dir_accesses = root_node.pages;
   if (!root_hit) return count;
+  const geometry::kernels::KernelMode mode =
+      geometry::kernels::ActiveKernelMode();
+  if (mode == geometry::kernels::KernelMode::kBatched) {
+    // DFS over hit directory nodes; each pop tests all children against the
+    // node's SoA slab at once. Membership (SquaredMinDist <= r2 per child)
+    // matches the scalar DFS exactly, and page totals are integer sums, so
+    // the counts are identical in either mode.
+    std::vector<uint32_t> stack = {root_};
+    std::vector<uint32_t> hits;
+    while (!stack.empty()) {
+      const uint32_t id = stack.back();
+      stack.pop_back();
+      const RTreeNode& n = nodes_[id];
+      hits.clear();
+      geometry::kernels::AppendSphereHits(center, r2, child_slabs_[id], &hits,
+                                          mode);
+      for (const uint32_t hit : hits) {
+        const uint32_t child_id = n.children[hit];
+        const RTreeNode& child = nodes_[child_id];
+        if (child.is_leaf()) {
+          count.leaf_accesses += child.pages;
+        } else {
+          count.dir_accesses += child.pages;
+          stack.push_back(child_id);
+        }
+      }
+    }
+    return count;
+  }
   std::vector<uint32_t> stack(root_node.children.begin(),
                               root_node.children.end());
   while (!stack.empty()) {

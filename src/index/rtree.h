@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "geometry/bounding_box.h"
+#include "geometry/kernels.h"
 
 namespace hdidx::index {
 
@@ -89,7 +90,14 @@ class RTree {
 
   /// Page accesses an optimal NN search with the given query sphere incurs:
   /// every node whose MBR intersects the sphere is read (the root is always
-  /// read). Returns (leaf accesses, directory accesses).
+  /// read). Returns (leaf accesses, directory accesses). Requires
+  /// radius >= 0 (a NaN radius used to silently count zero pages).
+  ///
+  /// In batched kernel mode (the default) each visited directory node tests
+  /// all its children at once against the SoA slab built at AddDirectory
+  /// time; scalar mode runs the original one-box-at-a-time DFS. Both count
+  /// exactly the nodes with SquaredMinDist <= radius², so the result is
+  /// identical either way.
   struct AccessCount {
     size_t leaf_accesses = 0;
     size_t dir_accesses = 0;
@@ -108,6 +116,10 @@ class RTree {
  private:
   size_t dim_;
   std::vector<RTreeNode> nodes_;
+  /// Per-node SoA slab over the node's children's MBRs (empty for leaves),
+  /// parallel to nodes_. Built in AddDirectory — child boxes never change
+  /// afterwards — and shared read-only by concurrent queries.
+  std::vector<geometry::kernels::BoxSlab> child_slabs_;
   std::vector<uint32_t> leaf_ids_;
   std::vector<uint32_t> order_;
   uint32_t root_ = 0;

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/check.h"
+
 namespace hdidx::index {
 
 std::vector<geometry::BoundingSphere> ComputeLeafSpheres(
@@ -27,6 +29,7 @@ std::vector<geometry::BoundingSphere> ComputeLeafSpheres(
 size_t CountSphereAccesses(
     const std::vector<geometry::BoundingSphere>& leaves,
     std::span<const float> center, double radius) {
+  HDIDX_CHECK(radius >= 0.0) << "query sphere radius must be non-negative";
   size_t count = 0;
   for (const auto& sphere : leaves) {
     if (sphere.IntersectsSphere(center, radius)) ++count;

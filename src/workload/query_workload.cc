@@ -4,9 +4,20 @@
 
 #include "common/check.h"
 #include "geometry/distance.h"
+#include "geometry/kernels.h"
 #include "index/knn.h"
 
 namespace hdidx::workload {
+
+size_t QueryRegions::CountIntersections(
+    size_t i, std::span<const geometry::BoundingBox> boxes,
+    const geometry::kernels::BoxSlab& /*slab*/) const {
+  size_t hits = 0;
+  for (const auto& box : boxes) {
+    if (Intersects(i, box)) ++hits;
+  }
+  return hits;
+}
 
 QueryWorkload::QueryWorkload(data::Dataset queries, std::vector<double> radii,
                              std::vector<size_t> rows, size_t k)
@@ -19,6 +30,20 @@ bool QueryWorkload::Intersects(size_t i,
                                const geometry::BoundingBox& box) const {
   return geometry::SquaredMinDist(queries_.row(i), box) <=
          radii_[i] * radii_[i];
+}
+
+size_t QueryWorkload::CountIntersections(
+    size_t i, std::span<const geometry::BoundingBox> boxes,
+    const geometry::kernels::BoxSlab& slab) const {
+  if (slab.size() != boxes.size() || slab.size() == 0) {
+    return QueryRegions::CountIntersections(i, boxes, slab);
+  }
+  // The caller built the slab, so it already chose the batched path; the
+  // explicit mode keeps one query's counting on one kernel even if the
+  // process-wide override flips mid-prediction.
+  return geometry::kernels::CountSphereHits(
+      queries_.row(i), radii_[i] * radii_[i], slab,
+      geometry::kernels::KernelMode::kBatched);
 }
 
 QueryWorkload QueryWorkload::Create(const data::Dataset& data, size_t q,
@@ -85,20 +110,21 @@ ScanResult ScanForWorkloadAndSample(io::PagedFile* file, size_t q, size_t k,
     sample.Append(raw.subspan(row * dim, dim));
   }
 
-  // The in-memory distance loop, parallel over queries: each chunk owns its
-  // queries' heaps outright and streams the dataset in row order, so every
-  // radius is bit-identical to the serial pass for any thread count.
+  // The in-memory distance loop, parallel over queries: each query's scan
+  // is independent and streams the dataset in row order on the batched
+  // kernel (early-terminating against its heap threshold), so every radius
+  // is bit-identical to the serial scalar pass for any thread count. The
+  // exclusion rule is the original one: the query's own row is skipped only
+  // at distance zero, so duplicates of the query point still count.
   std::vector<double> radii(q);
   ctx.ParallelFor(0, q, /*grain=*/1, [&](size_t begin, size_t end) {
     for (size_t j = begin; j < end; ++j) {
-      index::KnnHeap heap(k);
-      const std::span<const float> query = queries.row(j);
-      for (size_t i = 0; i < n; ++i) {
-        const double d2 = geometry::SquaredL2(raw.subspan(i * dim, dim), query);
-        if (d2 <= 0.0 && i == rows[j]) continue;  // exclude the query itself
-        heap.Push(d2);
-      }
-      radii[j] = heap.Kth();
+      geometry::kernels::ScanOptions opts;
+      opts.exclude_row = rows[j];
+      opts.exclude_row_only_if_zero = true;
+      radii[j] = std::sqrt(
+          geometry::kernels::KthDistanceScan(queries.row(j), raw, dim, k,
+                                             opts));
     }
   });
 

@@ -2,12 +2,18 @@
 #define HDIDX_WORKLOAD_QUERY_WORKLOAD_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/random.h"
 #include "data/dataset.h"
+#include "geometry/bounding_box.h"
 #include "io/paged_file.h"
+
+namespace hdidx::geometry::kernels {
+class BoxSlab;
+}  // namespace hdidx::geometry::kernels
 
 namespace hdidx::workload {
 
@@ -28,6 +34,15 @@ class QueryRegions {
   /// query i would read a page with this MBR.
   virtual bool Intersects(size_t i,
                           const geometry::BoundingBox& box) const = 0;
+
+  /// Number of `boxes` query i's region intersects. `slab` is a BoxSlab the
+  /// caller built over the same boxes — or an empty slab on the scalar
+  /// path, in which case (and for workload types without a batched kernel)
+  /// the default per-box Intersects loop runs. Overrides are
+  /// decision-identical to that loop for every box.
+  virtual size_t CountIntersections(
+      size_t i, std::span<const geometry::BoundingBox> boxes,
+      const geometry::kernels::BoxSlab& slab) const;
 };
 
 /// A density-biased k-NN query workload: q query points drawn uniformly from
@@ -58,6 +73,9 @@ class QueryWorkload : public QueryRegions {
   // QueryRegions: sphere-vs-box intersection with the exact k-NN radius.
   size_t size() const override { return queries_.size(); }
   bool Intersects(size_t i, const geometry::BoundingBox& box) const override;
+  size_t CountIntersections(
+      size_t i, std::span<const geometry::BoundingBox> boxes,
+      const geometry::kernels::BoxSlab& slab) const override;
 
   size_t num_queries() const { return queries_.size(); }
   size_t k() const { return k_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "geometry/kernels.h"
 
 namespace hdidx::workload {
 
@@ -82,6 +83,16 @@ RangeWorkload RangeWorkload::CreateWithCardinality(const data::Dataset& data,
 bool RangeWorkload::Intersects(size_t i,
                                const geometry::BoundingBox& box) const {
   return boxes_[i].Intersects(box);
+}
+
+size_t RangeWorkload::CountIntersections(
+    size_t i, std::span<const geometry::BoundingBox> boxes,
+    const geometry::kernels::BoxSlab& slab) const {
+  if (slab.size() != boxes.size() || slab.size() == 0) {
+    return QueryRegions::CountIntersections(i, boxes, slab);
+  }
+  return geometry::kernels::CountBoxHits(boxes_[i], slab,
+                                         geometry::kernels::KernelMode::kBatched);
 }
 
 }  // namespace hdidx::workload

@@ -37,6 +37,9 @@ class RangeWorkload : public QueryRegions {
   size_t size() const override { return boxes_.size(); }
   bool Intersects(size_t i,
                   const geometry::BoundingBox& box) const override;
+  size_t CountIntersections(
+      size_t i, std::span<const geometry::BoundingBox> boxes,
+      const geometry::kernels::BoxSlab& slab) const override;
 
   const geometry::BoundingBox& box(size_t i) const { return boxes_[i]; }
 

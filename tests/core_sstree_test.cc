@@ -49,6 +49,33 @@ TEST(BoundingSphereTest, InflateRadius) {
   EXPECT_DOUBLE_EQ(sphere.radius(), 3.0);
 }
 
+TEST(BoundingSphereTest, SqrtFreeIntersectionMatchesMinDist) {
+  // The squared-domain test must agree with the MinDist definition on
+  // random sphere pairs (both are exact at these magnitudes).
+  common::Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> c1(4), c2(4);
+    for (auto& v : c1) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+    for (auto& v : c2) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+    const geometry::BoundingSphere sphere(c1, rng.NextUniform(0.0, 1.0));
+    const double radius = rng.NextUniform(0.0, 1.0);
+    EXPECT_EQ(sphere.IntersectsSphere(c2, radius),
+              sphere.MinDist(c2) <= radius)
+        << "trial " << trial;
+  }
+}
+
+TEST(BoundingSphereDeathTest, NegativeQueryRadiusIsFatal) {
+  const geometry::BoundingSphere sphere({0.0f, 0.0f}, 1.0);
+  const std::vector<float> center = {3.0f, 0.0f};
+  EXPECT_DEATH(sphere.IntersectsSphere(center, -0.1), "non-negative");
+  const std::vector<geometry::BoundingSphere> leaves = {sphere};
+  EXPECT_DEATH(index::CountSphereAccesses(leaves, center, -1.0),
+               "non-negative");
+  EXPECT_DEATH(index::CountSphereAccesses(leaves, center, std::nan("")),
+               "non-negative");
+}
+
 TEST(SphereCompensationTest, Limits) {
   EXPECT_DOUBLE_EQ(SphereCompensationGrowth(33, 1.0, 60), 1.0);
   EXPECT_GT(SphereCompensationGrowth(33, 0.1, 60), 1.0);

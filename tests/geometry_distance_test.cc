@@ -48,6 +48,48 @@ TEST(DistanceTest, MinDistNeverExceedsMaxDist) {
   }
 }
 
+TEST(DistanceTest, SquaredMaxDistIsExactSquareOfMaxDist) {
+  const BoundingBox box({-1, 2, 0}, {4, 3, 7});
+  const std::vector<std::vector<float>> points = {
+      {0, 0, 0}, {10, 10, 10}, {-5, 2.5f, 3}, {2, 2.5f, 5}, {4, 3, 7}};
+  for (const auto& p : points) {
+    const double sq = SquaredMaxDist(p, box);
+    // MaxDist is defined as the exact sqrt of SquaredMaxDist — same bits.
+    EXPECT_EQ(MaxDist(p, box), std::sqrt(sq));
+    EXPECT_GE(sq, 0.0);
+  }
+  // Known value: from the origin of a unit square, the far corner is (2,2).
+  EXPECT_DOUBLE_EQ(SquaredMaxDist(std::vector<float>{0, 0},
+                                  BoundingBox({0, 0}, {2, 2})),
+                   8.0);
+  // Empty box: MaxDist is 0, so its square is too.
+  EXPECT_DOUBLE_EQ(SquaredMaxDist(std::vector<float>{1, 1}, BoundingBox(2)),
+                   0.0);
+}
+
+TEST(DistanceTest, SphereCoversBoxAtFarthestCorner) {
+  const BoundingBox box({0, 0}, {2, 2});
+  const std::vector<float> origin = {0, 0};
+  const double far = std::sqrt(8.0);
+  EXPECT_FALSE(SphereCoversBox(origin, 0.99 * far, box));
+  EXPECT_TRUE(SphereCoversBox(origin, far, box));  // exactly reaching counts
+  EXPECT_TRUE(SphereCoversBox(origin, 10.0, box));
+  // Empty boxes are vacuously covered (SquaredMaxDist is 0).
+  EXPECT_TRUE(SphereCoversBox(origin, 0.0, BoundingBox(2)));
+  // Covering implies intersecting for non-empty boxes.
+  EXPECT_TRUE(SphereIntersectsBox(origin, far, box));
+}
+
+TEST(DistanceDeathTest, NegativeOrNanRadiusIsFatal) {
+  const BoundingBox box({0.f, 0.f}, {1.f, 1.f});
+  const std::vector<float> center = {0.5f, 0.5f};
+  EXPECT_DEATH(SphereIntersectsBox(center, -0.5, box), "non-negative");
+  EXPECT_DEATH(SphereCoversBox(center, -1.0, box), "non-negative");
+  // A NaN radius used to silently make every page count as missed.
+  const double nan = std::nan("");
+  EXPECT_DEATH(SphereIntersectsBox(center, nan, box), "non-negative");
+}
+
 TEST(DistanceTest, SphereBoxIntersection) {
   const BoundingBox box({0, 0}, {1, 1});
   const std::vector<float> center = {2, 0.5f};

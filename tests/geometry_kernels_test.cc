@@ -1,0 +1,393 @@
+/// Unit tests for the batched geometry kernels: exact (bit-level) agreement
+/// with the retained scalar reference loops, slab layout/sentinel behavior,
+/// the scan exclusion rules, and the mode dispatch machinery.
+
+#include "geometry/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "geometry/bounding_box.h"
+#include "geometry/distance.h"
+#include "gtest/gtest.h"
+
+namespace hdidx::geometry::kernels {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Restores the default dispatch after tests that call SetKernelMode.
+struct ModeOverrideGuard {
+  ~ModeOverrideGuard() { ClearKernelModeOverride(); }
+};
+
+std::vector<float> RandomPoint(common::Rng* rng, size_t dim, double lo = -1.0,
+                               double hi = 2.0) {
+  std::vector<float> p(dim);
+  for (auto& v : p) v = static_cast<float>(rng->NextUniform(lo, hi));
+  return p;
+}
+
+/// A random non-empty box with occasional degenerate (point) sides.
+BoundingBox RandomBox(common::Rng* rng, size_t dim) {
+  std::vector<float> lo(dim), hi(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    const float a = static_cast<float>(rng->NextUniform(-1.0, 2.0));
+    const float b = rng->NextBounded(5) == 0
+                        ? a
+                        : static_cast<float>(rng->NextUniform(-1.0, 2.0));
+    lo[d] = std::min(a, b);
+    hi[d] = std::max(a, b);
+  }
+  return BoundingBox(std::move(lo), std::move(hi));
+}
+
+TEST(BoxSlabTest, LayoutAndPadding) {
+  common::Rng rng(11);
+  std::vector<BoundingBox> boxes;
+  for (int i = 0; i < 11; ++i) boxes.push_back(RandomBox(&rng, 3));
+  const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+  EXPECT_EQ(slab.size(), 11u);
+  EXPECT_EQ(slab.dim(), 3u);
+  EXPECT_EQ(slab.padded_size(), 16u);  // rounded up to a multiple of kBlock
+  for (size_t d = 0; d < 3; ++d) {
+    for (size_t b = 0; b < 11; ++b) {
+      EXPECT_EQ(slab.lo_plane(d)[b], boxes[b].lo()[d]);
+      EXPECT_EQ(slab.hi_plane(d)[b], boxes[b].hi()[d]);
+    }
+    // Padding lanes hold the infinitely-far sentinel.
+    for (size_t b = 11; b < slab.padded_size(); ++b) {
+      EXPECT_EQ(slab.lo_plane(d)[b], std::numeric_limits<float>::infinity());
+      EXPECT_EQ(slab.hi_plane(d)[b], -std::numeric_limits<float>::infinity());
+    }
+  }
+}
+
+TEST(BoxSlabTest, DefaultAndEmptySpanAreEmpty) {
+  const BoxSlab none;
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_EQ(none.dim(), 0u);
+  EXPECT_EQ(none.padded_size(), 0u);
+  const BoxSlab from_empty{std::span<const BoundingBox>()};
+  EXPECT_EQ(from_empty.size(), 0u);
+}
+
+TEST(BoxSlabTest, PointerSpanMatchesValueSpan) {
+  common::Rng rng(13);
+  std::vector<BoundingBox> boxes;
+  for (int i = 0; i < 9; ++i) boxes.push_back(RandomBox(&rng, 4));
+  std::vector<const BoundingBox*> ptrs;
+  for (const auto& b : boxes) ptrs.push_back(&b);
+  const BoxSlab by_value{std::span<const BoundingBox>(boxes)};
+  const BoxSlab by_ptr{
+      std::span<const BoundingBox* const>(ptrs.data(), ptrs.size())};
+  ASSERT_EQ(by_ptr.size(), by_value.size());
+  ASSERT_EQ(by_ptr.dim(), by_value.dim());
+  for (size_t d = 0; d < by_value.dim(); ++d) {
+    for (size_t b = 0; b < by_value.padded_size(); ++b) {
+      EXPECT_EQ(by_ptr.lo_plane(d)[b], by_value.lo_plane(d)[b]);
+      EXPECT_EQ(by_ptr.hi_plane(d)[b], by_value.hi_plane(d)[b]);
+    }
+  }
+}
+
+TEST(KernelSphereHitsTest, MatchesSquaredMinDistPerBox) {
+  common::Rng rng(17);
+  for (const size_t dim : {1u, 2u, 9u, 17u}) {
+    std::vector<BoundingBox> boxes;
+    for (int i = 0; i < 23; ++i) boxes.push_back(RandomBox(&rng, dim));
+    const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto center = RandomPoint(&rng, dim);
+      const double r = rng.NextUniform(0.0, 1.5);
+      const double r2 = r * r;
+      size_t expected = 0;
+      for (const auto& box : boxes) {
+        if (SquaredMinDist(center, box) <= r2) ++expected;
+      }
+      EXPECT_EQ(CountSphereHits(center, r2, slab, KernelMode::kScalar),
+                expected);
+      EXPECT_EQ(CountSphereHits(center, r2, slab, KernelMode::kBatched),
+                expected);
+    }
+  }
+}
+
+TEST(KernelSphereHitsTest, EmptyBoxesOnlyCountAtInfiniteRadius) {
+  std::vector<BoundingBox> boxes;
+  boxes.push_back(BoundingBox({0.f, 0.f}, {1.f, 1.f}));
+  boxes.push_back(BoundingBox(2));  // empty: infinitely far
+  boxes.push_back(BoundingBox({3.f, 3.f}, {4.f, 4.f}));
+  const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+  const std::vector<float> center = {0.5f, 0.5f};
+  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kBatched}) {
+    EXPECT_EQ(CountSphereHits(center, 1e12, slab, mode), 2u);
+    // +inf radius reaches the empty box too, exactly like the scalar
+    // SquaredMinDist(+inf) <= +inf comparison.
+    EXPECT_EQ(CountSphereHits(center, kInf, slab, mode), 3u);
+    EXPECT_EQ(CountSphereHits(center, 0.0, slab, mode), 1u);
+  }
+}
+
+TEST(KernelSphereHitsTest, AppendAgreesWithCountAndIsAscending) {
+  common::Rng rng(19);
+  const size_t dim = 12;
+  std::vector<BoundingBox> boxes;
+  for (int i = 0; i < 37; ++i) boxes.push_back(RandomBox(&rng, dim));
+  const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto center = RandomPoint(&rng, dim);
+    const double r = rng.NextUniform(0.0, 2.0);
+    std::vector<uint32_t> scalar_hits, batched_hits;
+    AppendSphereHits(center, r * r, slab, &scalar_hits, KernelMode::kScalar);
+    AppendSphereHits(center, r * r, slab, &batched_hits, KernelMode::kBatched);
+    EXPECT_EQ(batched_hits, scalar_hits);
+    EXPECT_TRUE(std::is_sorted(scalar_hits.begin(), scalar_hits.end()));
+    EXPECT_EQ(scalar_hits.size(),
+              CountSphereHits(center, r * r, slab, KernelMode::kBatched));
+  }
+}
+
+TEST(KernelBoxHitsTest, MatchesIntersectsPerBox) {
+  common::Rng rng(23);
+  for (const size_t dim : {1u, 3u, 10u}) {
+    std::vector<BoundingBox> boxes;
+    for (int i = 0; i < 29; ++i) boxes.push_back(RandomBox(&rng, dim));
+    boxes[4] = BoundingBox(dim);  // an empty box intersects nothing
+    const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+    for (int trial = 0; trial < 20; ++trial) {
+      const BoundingBox query = RandomBox(&rng, dim);
+      size_t expected = 0;
+      for (const auto& box : boxes) {
+        if (query.Intersects(box)) ++expected;
+      }
+      EXPECT_EQ(CountBoxHits(query, slab, KernelMode::kScalar), expected);
+      EXPECT_EQ(CountBoxHits(query, slab, KernelMode::kBatched), expected);
+    }
+    // An empty query box intersects nothing in either mode.
+    EXPECT_EQ(CountBoxHits(BoundingBox(dim), slab, KernelMode::kScalar), 0u);
+    EXPECT_EQ(CountBoxHits(BoundingBox(dim), slab, KernelMode::kBatched), 0u);
+  }
+}
+
+TEST(KernelNearestBoxTest, PicksMinimalDistanceLowestIndex) {
+  common::Rng rng(29);
+  for (const size_t dim : {1u, 4u, 11u}) {
+    std::vector<BoundingBox> boxes;
+    for (int i = 0; i < 21; ++i) boxes.push_back(RandomBox(&rng, dim));
+    const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+    for (int trial = 0; trial < 30; ++trial) {
+      const auto point = RandomPoint(&rng, dim);
+      size_t expected = 0;
+      double best = kInf;
+      for (size_t b = 0; b < boxes.size(); ++b) {
+        const double d2 = SquaredMinDist(point, boxes[b]);
+        if (d2 < best) {
+          best = d2;
+          expected = b;
+        }
+      }
+      EXPECT_EQ(NearestBox(point, slab, KernelMode::kScalar), expected);
+      EXPECT_EQ(NearestBox(point, slab, KernelMode::kBatched), expected);
+    }
+  }
+}
+
+TEST(KernelNearestBoxTest, ExactTiesBreakTowardsLowestIndex) {
+  // Two identical boxes: the first must win in both modes, at any distance.
+  std::vector<BoundingBox> boxes;
+  boxes.push_back(BoundingBox({1.f}, {2.f}));
+  boxes.push_back(BoundingBox({1.f}, {2.f}));
+  boxes.push_back(BoundingBox({1.5f}, {2.f}));
+  const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+  const std::vector<float> outside = {0.f};
+  const std::vector<float> inside = {1.7f};
+  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kBatched}) {
+    EXPECT_EQ(NearestBox(outside, slab, mode), 0u);
+    EXPECT_EQ(NearestBox(inside, slab, mode), 0u);  // containment tie
+  }
+}
+
+TEST(KernelNearestBoxTest, EmptyBoxesNeverWinUnlessAllEmpty) {
+  std::vector<BoundingBox> boxes;
+  boxes.push_back(BoundingBox(2));
+  boxes.push_back(BoundingBox({5.f, 5.f}, {6.f, 6.f}));
+  const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+  std::vector<BoundingBox> all_empty(3, BoundingBox(2));
+  const BoxSlab empty_slab{std::span<const BoundingBox>(all_empty)};
+  const std::vector<float> p = {0.f, 0.f};
+  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kBatched}) {
+    EXPECT_EQ(NearestBox(p, slab, mode), 1u);
+    EXPECT_EQ(NearestBox(p, empty_slab, mode), 0u);
+  }
+}
+
+TEST(KernelBatchedL2Test, BitIdenticalToScalarSquaredL2) {
+  common::Rng rng(31);
+  for (const size_t dim : {1u, 7u, 16u, 33u}) {
+    for (const size_t n : {1u, 7u, 8u, 9u, 40u}) {
+      std::vector<float> rows(n * dim);
+      for (auto& v : rows) v = static_cast<float>(rng.NextUniform(-2.0, 2.0));
+      const auto query = RandomPoint(&rng, dim);
+      std::vector<double> out(n);
+      BatchedSquaredL2(query, rows.data(), n, dim, out.data());
+      for (size_t i = 0; i < n; ++i) {
+        const std::span<const float> row(rows.data() + i * dim, dim);
+        EXPECT_EQ(out[i], SquaredL2(query, row)) << "row " << i;
+      }
+    }
+  }
+}
+
+/// Scalar reference for the scan kernels: KnnHeap semantics over rows in
+/// order, written independently of the kernel implementation.
+double ReferenceKth(std::span<const float> query, std::span<const float> rows,
+                    size_t dim, size_t k, const ScanOptions& opts) {
+  std::vector<std::pair<double, size_t>> kept;
+  const size_t n = rows.size() / dim;
+  for (size_t row = 0; row < n; ++row) {
+    const double d2 =
+        SquaredL2(query, std::span<const float>(rows.data() + row * dim, dim));
+    if (row == opts.exclude_row &&
+        (!opts.exclude_row_only_if_zero || d2 <= 0.0)) {
+      continue;
+    }
+    if (d2 <= opts.exclude_within_sq) continue;
+    kept.emplace_back(d2, row);
+  }
+  if (kept.size() < k) return kInf;
+  std::sort(kept.begin(), kept.end());
+  return kept[k - 1].first;
+}
+
+TEST(KernelScanTest, KthDistanceMatchesSortReference) {
+  common::Rng rng(37);
+  for (const size_t dim : {1u, 5u, 16u, 20u}) {
+    const size_t n = 60;
+    std::vector<float> rows(n * dim);
+    for (auto& v : rows) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+    for (const size_t k : {1u, 3u, 21u, 60u, 61u}) {
+      const auto query = RandomPoint(&rng, dim, -1.0, 1.0);
+      const ScanOptions opts;
+      const double expected = ReferenceKth(query, rows, dim, k, opts);
+      EXPECT_EQ(KthDistanceScan(query, rows, dim, k, opts, KernelMode::kScalar),
+                expected);
+      EXPECT_EQ(
+          KthDistanceScan(query, rows, dim, k, opts, KernelMode::kBatched),
+          expected);
+    }
+  }
+}
+
+TEST(KernelScanTest, ExclusionRules) {
+  // Dataset with a duplicate of row 0 at row 3 and a near point at row 1.
+  const size_t dim = 2;
+  const std::vector<float> rows = {0.f, 0.f, 0.1f, 0.f, 5.f,
+                                   5.f, 0.f, 0.f,  2.f, 2.f};
+  const std::vector<float> query = {0.f, 0.f};
+  // Row 1's coordinate is the float 0.1f; the scan accumulates it widened
+  // to double, which is not the double literal 0.1.
+  const double near_d2 = static_cast<double>(0.1f) * static_cast<double>(0.1f);
+  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kBatched}) {
+    // No exclusions: the query's own row is the nearest.
+    EXPECT_EQ(KthDistanceScan(query, rows, dim, 1, ScanOptions(), mode), 0.0);
+
+    // Unconditional row exclusion drops row 0 but keeps its duplicate.
+    ScanOptions skip_row;
+    skip_row.exclude_row = 0;
+    EXPECT_EQ(KthDistanceScan(query, rows, dim, 1, skip_row, mode), 0.0);
+    EXPECT_EQ(KthDistanceScan(query, rows, dim, 2, skip_row, mode), near_d2);
+
+    // Zero-only exclusion: identical here (row 0 is at distance zero)...
+    ScanOptions skip_self = skip_row;
+    skip_self.exclude_row_only_if_zero = true;
+    EXPECT_EQ(KthDistanceScan(query, rows, dim, 1, skip_self, mode), 0.0);
+    // ...but keeps the excluded row when it is not at distance zero.
+    ScanOptions skip_far = skip_self;
+    skip_far.exclude_row = 2;  // (5,5) is far from the query: kept
+    EXPECT_EQ(KthDistanceScan(query, rows, dim, 5, skip_far, mode), 50.0);
+    ScanOptions drop_far;
+    drop_far.exclude_row = 2;  // unconditional: row 2 gone, only 4 rows left
+    EXPECT_EQ(KthDistanceScan(query, rows, dim, 5, drop_far, mode), kInf);
+
+    // Distance-band exclusion drops both zero-distance rows.
+    ScanOptions band;
+    band.exclude_within_sq = 0.0;
+    EXPECT_EQ(KthDistanceScan(query, rows, dim, 1, band, mode), near_d2);
+  }
+}
+
+TEST(KernelScanTest, TopKMatchesSortTruncate) {
+  common::Rng rng(41);
+  const size_t dim = 6;
+  const size_t n = 50;
+  std::vector<float> rows(n * dim);
+  for (auto& v : rows) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+  // Duplicate a few rows so distance ties exercise the row tie-break.
+  std::copy_n(rows.begin(), dim, rows.begin() + 17 * dim);
+  std::copy_n(rows.begin() + 5 * dim, dim, rows.begin() + 44 * dim);
+  for (const size_t k : {1u, 4u, 25u, 50u, 70u}) {
+    const auto query = RandomPoint(&rng, dim, -1.0, 1.0);
+    std::vector<std::pair<double, size_t>> expected;
+    for (size_t row = 0; row < n; ++row) {
+      expected.emplace_back(
+          SquaredL2(query,
+                    std::span<const float>(rows.data() + row * dim, dim)),
+          row);
+    }
+    std::sort(expected.begin(), expected.end());
+    expected.resize(std::min<size_t>(k, expected.size()));
+    const auto scalar = TopKNeighborScan(query, rows, dim, k, ScanOptions(),
+                                         KernelMode::kScalar);
+    const auto batched = TopKNeighborScan(query, rows, dim, k, ScanOptions(),
+                                          KernelMode::kBatched);
+    EXPECT_EQ(scalar, expected);
+    EXPECT_EQ(batched, expected);
+  }
+  EXPECT_TRUE(TopKNeighborScan(std::vector<float>(dim, 0.f), rows, dim, 0,
+                               ScanOptions(), KernelMode::kBatched)
+                  .empty());
+}
+
+TEST(KernelModeTest, OverrideWinsAndClears) {
+  ModeOverrideGuard guard;
+  SetKernelMode(KernelMode::kScalar);
+  EXPECT_EQ(ActiveKernelMode(), KernelMode::kScalar);
+  SetKernelMode(KernelMode::kBatched);
+  EXPECT_EQ(ActiveKernelMode(), KernelMode::kBatched);
+  ClearKernelModeOverride();
+  // Without an override the mode comes from HDIDX_KERNEL ("scalar" opts
+  // out) or defaults to batched; either way it must be a valid mode.
+  const KernelMode ambient = ActiveKernelMode();
+  EXPECT_TRUE(ambient == KernelMode::kScalar ||
+              ambient == KernelMode::kBatched);
+}
+
+TEST(KernelDeathTest, KthDistanceScanRejectsZeroK) {
+  const std::vector<float> rows = {0.f, 1.f};
+  const std::vector<float> query = {0.f};
+  EXPECT_DEATH(KthDistanceScan(query, rows, 1, 0, ScanOptions()), "k > 0");
+}
+
+TEST(KernelDeathTest, NearestBoxRejectsEmptySlab) {
+  const BoxSlab empty;
+  const std::vector<float> p = {0.f};
+  EXPECT_DEATH(NearestBox(p, empty), "slab.size");
+}
+
+TEST(KernelDeathTest, DimensionMismatchesAreFatal) {
+  std::vector<BoundingBox> boxes;
+  boxes.push_back(BoundingBox({0.f, 0.f}, {1.f, 1.f}));
+  const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+  const std::vector<float> p1 = {0.f};
+  EXPECT_DEATH(CountSphereHits(p1, 1.0, slab), "dim");
+  const std::vector<float> q = {0.f, 0.f};
+  const std::vector<float> rows = {0.f, 1.f, 2.f};  // not a multiple of dim
+  EXPECT_DEATH(KthDistanceScan(q, rows, 2, 1, ScanOptions()), "dim");
+}
+
+}  // namespace
+}  // namespace hdidx::geometry::kernels

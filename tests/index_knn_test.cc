@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/random.h"
 #include "data/generators.h"
@@ -116,6 +118,53 @@ TEST_F(TreeKnnTest, KthDistanceMatchesExact) {
   // dataset, distance 0).
   const double exact = ExactKthDistance(data_, query, 4, -1.0);
   EXPECT_NEAR(result.kth_distance, exact, 1e-9);
+}
+
+TEST(KnnPairHeapTest, MatchesSortTruncateWithTies) {
+  // Pairs with duplicate distances: retention and output order must equal
+  // sorting everything and truncating to k (rows break the ties).
+  const std::vector<std::pair<double, size_t>> pushed = {
+      {4.0, 9}, {1.0, 5}, {4.0, 2}, {0.5, 7}, {1.0, 1}, {9.0, 0}};
+  KnnPairHeap heap(3);
+  EXPECT_TRUE(std::isinf(heap.KthSquared()));
+  std::vector<std::pair<double, size_t>> expected = pushed;
+  for (const auto& [d2, row] : pushed) heap.Push(d2, row);
+  std::sort(expected.begin(), expected.end());
+  expected.resize(3);
+  EXPECT_DOUBLE_EQ(heap.KthSquared(), expected.back().first);
+  EXPECT_EQ(heap.TakeSortedAscending(), expected);
+}
+
+TEST_F(TreeKnnTest, NeighborsIdenticalToExactKnnIncludingTies) {
+  // The leaf loop's bounded pair heap must reproduce ExactKnn *exactly* —
+  // same rows in the same order, not just equal distances — because both
+  // resolve distance ties towards the lower row index.
+  common::Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<float> query(data_.dim());
+    if (trial % 2 == 0) {
+      const auto row = data_.row(rng.NextBounded(data_.size()));
+      std::copy(row.begin(), row.end(), query.begin());
+    } else {
+      for (auto& v : query) {
+        v = static_cast<float>(rng.NextUniform(0.0, 1.0));
+      }
+    }
+    for (const size_t k : {1u, 5u, 23u}) {
+      const auto exact = ExactKnn(data_, query, k);
+      const auto result = TreeKnnSearch(*tree_, data_, query, k);
+      EXPECT_EQ(result.neighbors, exact) << "trial " << trial << " k " << k;
+      EXPECT_EQ(result.kth_distance,
+                std::sqrt(geometry::SquaredL2(data_.row(exact.back()), query)));
+    }
+  }
+}
+
+TEST_F(TreeKnnTest, NegativeRadiusIsFatal) {
+  const auto query = data_.row(0);
+  EXPECT_DEATH(tree_->CountSphereAccesses(query, -1.0), "non-negative");
+  EXPECT_DEATH(tree_->CountSphereAccesses(query, std::nan("")),
+               "non-negative");
 }
 
 TEST_F(TreeKnnTest, CountSphereLeafAccessesBatch) {

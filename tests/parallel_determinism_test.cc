@@ -4,13 +4,16 @@
 // tests run the refactored paths under explicit 1/2/8-thread pools and
 // compare exact bit patterns — EXPECT_EQ on doubles, not EXPECT_NEAR.
 
+#include <string>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/random.h"
 #include "core/mini_index.h"
 #include "core/predictor.h"
+#include "core/resampled.h"
 #include "data/generators.h"
+#include "geometry/kernels.h"
 #include "gtest/gtest.h"
 #include "index/bulk_loader.h"
 #include "index/knn.h"
@@ -147,6 +150,101 @@ TEST(ParallelDeterminismTest, CountSphereLeafAccessesBitIdenticalWithIo) {
     EXPECT_EQ(runs[r].accesses, runs[0].accesses);
     EXPECT_EQ(runs[r].io.page_seeks, runs[0].io.page_seeks);
     EXPECT_EQ(runs[r].io.page_transfers, runs[0].io.page_transfers);
+  }
+}
+
+// The kernel-mode extension of the same contract: HDIDX_KERNEL=scalar and
+// the batched default must produce bit-identical results for every thread
+// count. One pass per (mode, threads) combination over every kernelized
+// entry point — workload radii, mini-index and resampled predictions, tree
+// sphere traversal, tree k-NN search, tree layout digests — all compared
+// exactly against the scalar single-thread reference.
+TEST(ParallelDeterminismKernelTest, ScalarAndBatchedBitIdentical) {
+  namespace gk = geometry::kernels;
+  const auto data = hdidx::testing::SmallClustered(4000, 12, 31);
+  const index::TreeTopology topo(data.size(), 33, 8);
+  ASSERT_GE(topo.height(), 3u);
+
+  struct Run {
+    std::vector<double> radii;
+    std::vector<double> mini_accesses;
+    std::vector<double> resampled_accesses;
+    std::vector<size_t> sphere_leaf, sphere_dir;
+    std::vector<size_t> knn_neighbors;
+    std::vector<double> knn_kth;
+    uint64_t digest = 0;
+  };
+  const auto run_once = [&](const common::ExecutionContext& ctx) {
+    Run run;
+    // Workload creation: KthDistanceScan per query.
+    common::Rng wrng(7);
+    const workload::QueryWorkload queries =
+        workload::QueryWorkload::Create(data, 30, 9, &wrng, ctx);
+    for (size_t i = 0; i < queries.num_queries(); ++i) {
+      run.radii.push_back(queries.radius(i));
+    }
+
+    // Mini-index prediction: CountSphereHits over the leaf slab.
+    core::MiniIndexParams mini_params;
+    mini_params.sampling_fraction = 0.2;
+    mini_params.seed = 17;
+    run.mini_accesses =
+        core::PredictWithMiniIndex(data, topo, queries, mini_params, ctx)
+            .per_query_accesses;
+
+    // Resampled prediction: NearestBox assignment + CountSphereHits.
+    io::PagedFile file = io::PagedFile::FromDataset(data, io::DiskModel{});
+    core::ResampledParams res_params;
+    res_params.memory_points = 800;
+    res_params.h_upper = 2;
+    res_params.seed = 9;
+    run.resampled_accesses =
+        core::PredictWithResampledTree(&file, topo, queries, res_params, ctx)
+            .per_query_accesses;
+
+    // Tree traversal (AppendSphereHits over per-node child slabs), k-NN
+    // search (KnnPairHeap leaf scans) and the layout digest.
+    index::BulkLoadOptions options;
+    options.topology = &topo;
+    options.exec = &ctx;
+    const index::RTree tree = index::BulkLoadInMemory(data, options);
+    run.digest = index::TreeLayoutDigest(tree);
+    for (size_t i = 0; i < queries.num_queries(); ++i) {
+      const auto accesses =
+          tree.CountSphereAccesses(queries.queries().row(i), queries.radius(i));
+      run.sphere_leaf.push_back(accesses.leaf_accesses);
+      run.sphere_dir.push_back(accesses.dir_accesses);
+      const auto knn = index::TreeKnnSearch(tree, data, queries.queries().row(i),
+                                            /*k=*/5);
+      run.knn_neighbors.insert(run.knn_neighbors.end(), knn.neighbors.begin(),
+                               knn.neighbors.end());
+      run.knn_kth.push_back(knn.kth_distance);
+    }
+    return run;
+  };
+
+  std::vector<Run> runs;
+  for (const gk::KernelMode mode :
+       {gk::KernelMode::kScalar, gk::KernelMode::kBatched}) {
+    gk::SetKernelMode(mode);
+    for (const size_t threads : {1u, 2u, 8u}) {
+      common::ThreadPool pool(threads);
+      const common::ExecutionContext ctx(&pool);
+      runs.push_back(run_once(ctx));
+    }
+  }
+  gk::ClearKernelModeOverride();
+
+  for (size_t r = 1; r < runs.size(); ++r) {
+    SCOPED_TRACE("run " + std::to_string(r) + " vs scalar/1-thread");
+    EXPECT_EQ(runs[r].radii, runs[0].radii);
+    EXPECT_EQ(runs[r].mini_accesses, runs[0].mini_accesses);
+    EXPECT_EQ(runs[r].resampled_accesses, runs[0].resampled_accesses);
+    EXPECT_EQ(runs[r].sphere_leaf, runs[0].sphere_leaf);
+    EXPECT_EQ(runs[r].sphere_dir, runs[0].sphere_dir);
+    EXPECT_EQ(runs[r].knn_neighbors, runs[0].knn_neighbors);
+    EXPECT_EQ(runs[r].knn_kth, runs[0].knn_kth);
+    EXPECT_EQ(runs[r].digest, runs[0].digest);
   }
 }
 

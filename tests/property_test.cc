@@ -2,6 +2,8 @@
 /// of dataset shapes, capacities, and sampling fractions.
 
 #include <cmath>
+#include <cstdint>
+#include <span>
 #include <tuple>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "core/compensation.h"
 #include "data/generators.h"
 #include "geometry/distance.h"
+#include "geometry/kernels.h"
 #include "gtest/gtest.h"
 #include "index/bulk_loader.h"
 #include "index/knn.h"
@@ -222,6 +225,130 @@ INSTANTIATE_TEST_SUITE_P(
                       TopoParams{11, 10, 4}, TopoParams{100000, 33, 16},
                       TopoParams{275465, 33, 16}, TopoParams{999983, 7, 2},
                       TopoParams{42, 1, 2}, TopoParams{65536, 16, 16}));
+
+// ---------------------------------------------------------------------------
+// Kernel equivalence: the batched geometry kernels must be bit-identical to
+// the retained scalar reference across every (dimension, slab size)
+// combination, including slab sizes straddling the kBlock stride boundary,
+// empty boxes mixed into the slab, and degenerate all-identical datasets.
+// EXPECT_EQ throughout — on doubles, not EXPECT_NEAR.
+// ---------------------------------------------------------------------------
+
+using KernelParams = std::tuple<size_t, size_t>;  // (dim, slab/box count)
+
+class KernelEquivalenceProperty
+    : public ::testing::TestWithParam<KernelParams> {};
+
+TEST_P(KernelEquivalenceProperty, SphereAndBoxCountsBitIdentical) {
+  namespace gk = geometry::kernels;
+  const auto [dim, count] = GetParam();
+  common::Rng rng(dim * 131 + count);
+  std::vector<geometry::BoundingBox> boxes;
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<float> lo(dim), hi(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      const float a = static_cast<float>(rng.NextUniform(-1.0, 2.0));
+      const float b = static_cast<float>(rng.NextUniform(-1.0, 2.0));
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    boxes.emplace_back(std::move(lo), std::move(hi));
+  }
+  // Sprinkle empty boxes (infinitely far sentinels in the slab).
+  for (size_t i = 2; i < boxes.size(); i += 5) {
+    boxes[i] = geometry::BoundingBox(dim);
+  }
+  const gk::BoxSlab slab{std::span<const geometry::BoundingBox>(boxes)};
+  ASSERT_EQ(slab.size(), count);
+  ASSERT_EQ(slab.padded_size() % gk::BoxSlab::kBlock, 0u);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<float> center(dim);
+    for (auto& v : center) {
+      v = static_cast<float>(rng.NextUniform(-1.5, 2.5));
+    }
+    const double r = rng.NextUniform(0.0, 0.5 * std::sqrt(double(dim)));
+    const double r2 = r * r;
+    size_t brute = 0;
+    for (const auto& box : boxes) {
+      if (geometry::SquaredMinDist(center, box) <= r2) ++brute;
+    }
+    EXPECT_EQ(gk::CountSphereHits(center, r2, slab, gk::KernelMode::kScalar),
+              brute);
+    EXPECT_EQ(gk::CountSphereHits(center, r2, slab, gk::KernelMode::kBatched),
+              brute);
+    std::vector<uint32_t> scalar_hits, batched_hits;
+    gk::AppendSphereHits(center, r2, slab, &scalar_hits,
+                         gk::KernelMode::kScalar);
+    gk::AppendSphereHits(center, r2, slab, &batched_hits,
+                         gk::KernelMode::kBatched);
+    EXPECT_EQ(batched_hits, scalar_hits);
+
+    const auto query_box = boxes[rng.NextBounded(boxes.size())];
+    size_t box_brute = 0;
+    for (const auto& box : boxes) {
+      if (query_box.Intersects(box)) ++box_brute;
+    }
+    EXPECT_EQ(gk::CountBoxHits(query_box, slab, gk::KernelMode::kScalar),
+              box_brute);
+    EXPECT_EQ(gk::CountBoxHits(query_box, slab, gk::KernelMode::kBatched),
+              box_brute);
+    EXPECT_EQ(gk::NearestBox(center, slab, gk::KernelMode::kBatched),
+              gk::NearestBox(center, slab, gk::KernelMode::kScalar));
+  }
+}
+
+TEST_P(KernelEquivalenceProperty, ScanKernelsBitIdentical) {
+  namespace gk = geometry::kernels;
+  const auto [dim, n] = GetParam();
+  common::Rng rng(dim * 977 + n);
+  std::vector<float> rows(n * dim);
+  for (auto& v : rows) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+  const size_t k = 1 + rng.NextBounded(n + 2);  // occasionally k > n
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<float> query(dim);
+    for (auto& v : query) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+    gk::ScanOptions opts;
+    switch (trial % 3) {
+      case 0:
+        break;
+      case 1:
+        opts.exclude_row = rng.NextBounded(n);
+        opts.exclude_row_only_if_zero = (trial % 2) == 1;
+        break;
+      default:
+        opts.exclude_within_sq = 0.0;
+        break;
+    }
+    EXPECT_EQ(
+        gk::KthDistanceScan(query, rows, dim, k, opts, gk::KernelMode::kBatched),
+        gk::KthDistanceScan(query, rows, dim, k, opts, gk::KernelMode::kScalar));
+    EXPECT_EQ(
+        gk::TopKNeighborScan(query, rows, dim, k, opts,
+                             gk::KernelMode::kBatched),
+        gk::TopKNeighborScan(query, rows, dim, k, opts,
+                             gk::KernelMode::kScalar));
+  }
+
+  // All-identical points: every distance ties, the heap keeps the first k
+  // rows, and early-exit never fires spuriously.
+  std::vector<float> same(n * dim, 0.25f);
+  std::vector<float> query(dim, -0.75f);
+  const auto scalar = gk::TopKNeighborScan(query, same, dim, k, gk::ScanOptions(),
+                                           gk::KernelMode::kScalar);
+  const auto batched = gk::TopKNeighborScan(query, same, dim, k,
+                                            gk::ScanOptions(),
+                                            gk::KernelMode::kBatched);
+  EXPECT_EQ(batched, scalar);
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(scalar[i].second, i);  // ties retain the lowest rows, in order
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimSlabGrid, KernelEquivalenceProperty,
+    ::testing::Combine(::testing::Values(1, 3, 60, 617),
+                       ::testing::Values(1, 7, 8, 9, 16, 17)));
 
 // ---------------------------------------------------------------------------
 // Sphere-counting consistency: leaf accesses counted through the tree match

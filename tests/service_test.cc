@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "geometry/kernels.h"
 #include "gtest/gtest.h"
 #include "service/protocol.h"
 #include "test_util.h"
@@ -184,6 +185,40 @@ TEST(PredictionServiceTest, BatchKeepsArrivalOrderAcrossShards) {
   EXPECT_EQ(metrics.batches, 1u);
   EXPECT_EQ(metrics.requests, 5u);
   EXPECT_DOUBLE_EQ(metrics.mean_batch_size, 5.0);
+}
+
+TEST(PredictionServiceKernelTest, ResponsesInvariantAcrossKernelModes) {
+  namespace gk = geometry::kernels;
+  // Every method, served by fresh services pinned to each kernel mode:
+  // responses must be byte-identical down to per-query counts (the batched
+  // kernels' bit-identity contract, observed end to end at the service
+  // boundary). Fresh services per mode so no cache hit papers over a
+  // divergence.
+  std::vector<ServiceRequest> requests;
+  uint64_t id = 0;
+  for (const char* method : {"mini", "cutoff", "resampled"}) {
+    ServiceRequest r = Req("alpha", method, 4);
+    r.id = ++id;
+    requests.push_back(r);
+  }
+
+  gk::SetKernelMode(gk::KernelMode::kScalar);
+  auto scalar_svc = MakeService(2);
+  const auto scalar = scalar_svc->ProcessBatch(requests);
+
+  gk::SetKernelMode(gk::KernelMode::kBatched);
+  auto batched_svc = MakeService(2);
+  const auto batched = batched_svc->ProcessBatch(requests);
+  gk::ClearKernelModeOverride();
+
+  ASSERT_EQ(batched.size(), scalar.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_TRUE(scalar[i].ok) << scalar[i].error;
+    ASSERT_TRUE(batched[i].ok) << batched[i].error;
+    EXPECT_EQ(SerializeResult(batched[i], /*per_query=*/true),
+              SerializeResult(scalar[i], /*per_query=*/true))
+        << "request id " << scalar[i].id;
+  }
 }
 
 TEST(PredictionServiceTest, ErrorsAreDeterministicResponses) {
