@@ -234,30 +234,67 @@ BENCHMARK(BM_BulkLoadThreads)
     ->Iterations(3);
 
 // ---------------------------------------------------------------------------
-// Kernel-mode sweep: each benchmark runs once under the scalar reference
-// (range(0) == 0, registered first so it seeds the family baseline) and
-// once under the batched geometry kernels, reporting
-//   batched            — which mode this config ran,
-//   speedup_vs_scalar  — scalar mean wall time over this config's,
-// the counter the kernel PR's acceptance targets read from the JSON output
-// (>= 3x on leaf-intersection counting and >= 2x on the k-NN scan at d=60).
-// Both modes produce bit-identical results, so the speedup is free.
+// Kernel-mode sweep: each benchmark runs once per kernel mode, range(0)
+// holding the KernelMode enumerator (0=scalar, 1=generic, 2=avx2, 3=avx512,
+// 4=neon; ISAs the host cannot run are skipped with an error so the JSON
+// still lists them). Registration order seeds the baselines: scalar first,
+// then generic — which is bit-for-bit the PR 5 batched implementation, so
+// it doubles as the PR 5 baseline. Reported counters:
+//   mode               — the enumerator this config ran,
+//   speedup_vs_scalar  — scalar mean wall time over this config's
+//                        (acceptance floor: >= 3x on leaf-intersection
+//                        counting and >= 2x on the k-NN scan at d=60),
+//   speedup_vs_pr5     — generic-lane mean wall time over this config's
+//                        (acceptance floor: >= 1.2x at d=60 on the widest
+//                        host ISA),
+//   bytes_touched      — analytic bytes the kernel streams across all
+//                        iterations (upper bound: early exits touch less).
+// Every mode produces bit-identical results, so the speedup is free.
 
 geometry::kernels::KernelMode SweepMode(benchmark::State& state) {
-  return state.range(0) == 0 ? geometry::kernels::KernelMode::kScalar
-                             : geometry::kernels::KernelMode::kBatched;
+  return static_cast<geometry::kernels::KernelMode>(state.range(0));
+}
+
+/// Skips configs whose ISA the host cannot run. Returns false on skip.
+bool CheckSweepMode(benchmark::State& state,
+                    geometry::kernels::KernelMode mode) {
+  if (geometry::kernels::KernelModeSupported(mode)) return true;
+  state.SkipWithError(
+      (std::string(geometry::kernels::KernelModeName(mode)) +
+       " not supported on this host")
+          .c_str());
+  return false;
 }
 
 void ReportKernelSweep(benchmark::State& state, const std::string& family,
-                       geometry::kernels::KernelMode mode, double total_ns) {
+                       geometry::kernels::KernelMode mode, double total_ns,
+                       double bytes_per_iteration) {
+  namespace gk = geometry::kernels;
   const double mean_ns =
       total_ns / static_cast<double>(std::max<int64_t>(1, state.iterations()));
-  const bool batched = mode == geometry::kernels::KernelMode::kBatched;
-  if (!batched) BaselineNs(family) = mean_ns;
-  const double baseline = BaselineNs(family);
-  state.counters["batched"] = batched ? 1.0 : 0.0;
+  if (mode == gk::KernelMode::kScalar) BaselineNs(family) = mean_ns;
+  if (mode == gk::KernelMode::kGeneric) BaselineNs(family + "/pr5") = mean_ns;
+  const double scalar_ns = BaselineNs(family);
+  const double pr5_ns = BaselineNs(family + "/pr5");
+  state.counters["mode"] = static_cast<double>(mode);
   state.counters["speedup_vs_scalar"] =
-      baseline > 0.0 && mean_ns > 0.0 ? baseline / mean_ns : 0.0;
+      scalar_ns > 0.0 && mean_ns > 0.0 ? scalar_ns / mean_ns : 0.0;
+  state.counters["speedup_vs_pr5"] =
+      pr5_ns > 0.0 && mean_ns > 0.0 ? pr5_ns / mean_ns : 0.0;
+  state.counters["bytes_touched"] =
+      bytes_per_iteration * static_cast<double>(state.iterations());
+}
+
+/// Registers the scalar/generic/avx2/avx512/neon sweep for a benchmark with
+/// a (mode, dim) argument pair.
+void ModeDimSweep(benchmark::internal::Benchmark* b) {
+  for (int64_t dim : {16, 60}) {
+    for (int64_t mode = 0;
+         mode < static_cast<int64_t>(geometry::kernels::kNumKernelModes);
+         ++mode) {
+      b->Args({mode, dim});
+    }
+  }
 }
 
 // The predictor hot loop: q=100 k-NN query spheres against every leaf MBR
@@ -265,6 +302,7 @@ void ReportKernelSweep(benchmark::State& state, const std::string& family,
 // CountLeafIntersections and shared across queries).
 void BM_CountLeafIntersections(benchmark::State& state) {
   const auto mode = SweepMode(state);
+  if (!CheckSweepMode(state, mode)) return;
   const size_t dim = static_cast<size_t>(state.range(1));
   const size_t n = 20000;
   const auto data = MakeData(n, dim);
@@ -290,13 +328,20 @@ void BM_CountLeafIntersections(benchmark::State& state) {
   geometry::kernels::ClearKernelModeOverride();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100 *
                           static_cast<int64_t>(leaves.size()));
+  // Each query streams both float planes of every dimension of the slab.
+  const size_t padded =
+      (leaves.size() + geometry::kernels::BoxSlab::kPlaneStride - 1) /
+      geometry::kernels::BoxSlab::kPlaneStride *
+      geometry::kernels::BoxSlab::kPlaneStride;
+  const double bytes_per_iteration =
+      100.0 * 2.0 * static_cast<double>(dim) * static_cast<double>(padded) *
+      sizeof(float);
   ReportKernelSweep(state,
                     "count_leaf_intersections_d" + std::to_string(dim), mode,
-                    total_ns);
+                    total_ns, bytes_per_iteration);
 }
 BENCHMARK(BM_CountLeafIntersections)
-    ->Args({0, 16})->Args({1, 16})
-    ->Args({0, 60})->Args({1, 60})
+    ->Apply(ModeDimSweep)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(5);
 
@@ -304,6 +349,7 @@ BENCHMARK(BM_CountLeafIntersections)
 // per iteration, timed directly on the dispatching scan kernel.
 void BM_ExactKthScan(benchmark::State& state) {
   const auto mode = SweepMode(state);
+  if (!CheckSweepMode(state, mode)) return;
   const size_t dim = static_cast<size_t>(state.range(1));
   const size_t n = 20000;
   const auto data = MakeData(n, dim);
@@ -323,18 +369,26 @@ void BM_ExactKthScan(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
+  // One full pass over the row-major dataset per scan (early abandoning
+  // touches less; this is the streamed upper bound).
+  const double bytes_per_iteration =
+      static_cast<double>(n) * static_cast<double>(dim) * sizeof(float);
   ReportKernelSweep(state, "exact_kth_scan_d" + std::to_string(dim), mode,
-                    total_ns);
+                    total_ns, bytes_per_iteration);
 }
 BENCHMARK(BM_ExactKthScan)
-    ->Args({0, 16})->Args({1, 16})
-    ->Args({0, 60})->Args({1, 60})
+    ->Apply(ModeDimSweep)
     ->Iterations(2000);
 
 // Slab construction cost — the one-off price a prediction pays before the
-// batched counting starts (transpose of all leaf MBRs into SoA planes).
+// batched counting starts (transpose of all leaf MBRs into arena-backed SoA
+// planes). The transpose itself is mode-independent; sweeping the mode
+// anyway keeps one uniform (mode, dim) grid in the JSON and pins that no
+// mode regresses the build.
 void BM_SlabBuild(benchmark::State& state) {
-  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto mode = SweepMode(state);
+  if (!CheckSweepMode(state, mode)) return;
+  const size_t dim = static_cast<size_t>(state.range(1));
   const size_t n = 20000;
   const auto data = MakeData(n, dim);
   const index::TreeTopology topo(n, 33, 16);
@@ -343,16 +397,34 @@ void BM_SlabBuild(benchmark::State& state) {
   const auto tree = index::BulkLoadInMemory(data, options);
   std::vector<geometry::BoundingBox> leaves;
   for (uint32_t id : tree.leaf_ids()) leaves.push_back(tree.node(id).box);
+  geometry::kernels::SetKernelMode(mode);
+  double total_ns = 0.0;
   for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
     geometry::kernels::BoxSlab slab{
         std::span<const geometry::BoundingBox>(leaves)};
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
     benchmark::DoNotOptimize(slab.padded_size());
   }
+  geometry::kernels::ClearKernelModeOverride();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(leaves.size()));
   state.counters["boxes"] = static_cast<double>(leaves.size());
+  // Reads every MBR float from the AoS boxes, writes both padded planes.
+  const size_t padded =
+      (leaves.size() + geometry::kernels::BoxSlab::kPlaneStride - 1) /
+      geometry::kernels::BoxSlab::kPlaneStride *
+      geometry::kernels::BoxSlab::kPlaneStride;
+  const double bytes_per_iteration =
+      2.0 * static_cast<double>(dim) *
+      (static_cast<double>(leaves.size()) + static_cast<double>(padded)) *
+      sizeof(float);
+  ReportKernelSweep(state, "slab_build_d" + std::to_string(dim), mode,
+                    total_ns, bytes_per_iteration);
 }
-BENCHMARK(BM_SlabBuild)->Arg(16)->Arg(60);
+BENCHMARK(BM_SlabBuild)->Apply(ModeDimSweep)->Iterations(2000);
 
 // ---------------------------------------------------------------------------
 // Serving-path throughput: the same request batch through a

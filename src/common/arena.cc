@@ -1,0 +1,35 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hdidx::common {
+
+void* Arena::Allocate(size_t bytes) {
+  // Round every allocation up to the alignment so the next bump stays
+  // aligned without per-call pointer arithmetic. Zero-byte requests take a
+  // full slot so the result is a distinct non-null pointer.
+  const size_t rounded =
+      bytes == 0 ? kAlignment
+                 : (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  HDIDX_CHECK(rounded >= bytes) << "arena allocation overflow";
+  if (rounded > remaining_) {
+    const size_t block_bytes = std::max(
+        rounded, std::max(next_block_bytes_, kMinBlockBytes));
+    auto* raw = static_cast<std::byte*>(
+        ::operator new[](block_bytes, std::align_val_t{kAlignment}));
+    blocks_.emplace_back(raw);
+    next_ = raw;
+    remaining_ = block_bytes;
+    bytes_reserved_ += block_bytes;
+    next_block_bytes_ = std::min(block_bytes * 2, kMaxBlockBytes);
+  }
+  std::byte* out = next_;
+  next_ += rounded;
+  remaining_ -= rounded;
+  bytes_allocated_ += rounded;
+  return out;
+}
+
+}  // namespace hdidx::common

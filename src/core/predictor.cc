@@ -22,8 +22,8 @@ void CountLeafIntersections(
   // (HDIDX_KERNEL=scalar) the slab stays empty and CountIntersections falls
   // back to the retained per-box Intersects loop.
   geometry::kernels::BoxSlab slab;
-  if (geometry::kernels::ActiveKernelMode() ==
-      geometry::kernels::KernelMode::kBatched) {
+  if (geometry::kernels::ActiveKernelMode() !=
+      geometry::kernels::KernelMode::kScalar) {
     slab = geometry::kernels::BoxSlab(std::span(leaf_boxes));
   }
   ctx.ParallelFor(0, q, /*grain=*/0, [&](size_t begin, size_t end) {

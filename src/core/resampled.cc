@@ -103,7 +103,7 @@ PredictionResult PredictWithResampledTree(
   const geometry::kernels::KernelMode kernel_mode =
       geometry::kernels::ActiveKernelMode();
   geometry::kernels::BoxSlab leaf_slab;
-  if (kernel_mode == geometry::kernels::KernelMode::kBatched) {
+  if (kernel_mode != geometry::kernels::KernelMode::kScalar) {
     leaf_slab = geometry::kernels::BoxSlab(std::span(upper.grown_leaves));
   }
 
@@ -121,7 +121,7 @@ PredictionResult PredictWithResampledTree(
       const size_t row = resample_rows[next + i];
       const std::span<const float> point = raw.subspan(row * dim, dim);
       const size_t box =
-          kernel_mode == geometry::kernels::KernelMode::kBatched
+          kernel_mode != geometry::kernels::KernelMode::kScalar
               ? geometry::kernels::NearestBox(point, leaf_slab, kernel_mode)
               : AssignToBox(point, upper.grown_leaves);
       chunk_groups[box].insert(chunk_groups[box].end(), point.begin(),

@@ -12,7 +12,10 @@ Dataset::Dataset(size_t n, size_t dim)
 }
 
 Dataset::Dataset(std::vector<float> values, size_t dim)
-    : dim_(dim), size_(values.size() / dim), values_(std::move(values)) {
+    // Copies rather than adopts: the buffer moves into 64B-aligned storage
+    // (the incoming vector's default-allocator buffer can't be).
+    : dim_(dim), size_(values.size() / dim),
+      values_(values.begin(), values.end()) {
   HDIDX_CHECK(dim > 0);
   HDIDX_CHECK(values_.size() % dim_ == 0);
 }

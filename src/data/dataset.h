@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "geometry/bounding_box.h"
 
 namespace hdidx::data {
@@ -71,7 +72,9 @@ class Dataset {
  private:
   size_t dim_;
   size_t size_;
-  std::vector<float> values_;
+  /// Row storage starts on a cacheline boundary so the row-scan kernels'
+  /// aligned-block loads stream whole lines (see common::AlignedVector).
+  common::AlignedVector<float> values_;
 };
 
 }  // namespace hdidx::data

@@ -1,0 +1,59 @@
+#ifndef HDIDX_GEOMETRY_ISA_BLOCK_OPS_H_
+#define HDIDX_GEOMETRY_ISA_BLOCK_OPS_H_
+
+#include <cstddef>
+
+#include "geometry/kernels.h"
+
+namespace hdidx::geometry::kernels::isa {
+
+/// Per-ISA implementations of the three block primitives every dispatching
+/// kernel entry point is built from. Each op processes exactly
+/// BoxSlab::kBlock lanes and must be bit-identical to the scalar oracle:
+/// lanes are whole candidates, SIMD runs *across* candidates, and every
+/// per-candidate reduction accumulates in scalar dimension order in double
+/// with no FMA contraction. Early exits may fire at different block/lane
+/// granularity per ISA — they only ever skip work that is provably a no-op
+/// (sums of squares are monotone), so results never depend on the cadence.
+///
+/// Padding lanes carry the BoxSlab sentinel (lo=+inf, hi=-inf): their
+/// accumulated distance is +inf and their overlap test fails, so an op may
+/// include them in all-lanes early-exit votes without changing any result.
+struct BlockOps {
+  /// Accumulates SquaredMinDist(center, lane) for the kBlock lanes at
+  /// `base` into acc[0..kBlock), early-exiting once every lane's partial
+  /// sum exceeds `threshold` at the shared (d & 7) == 7 cadence. Returns
+  /// false on abandonment (acc contents unspecified), true with every
+  /// lane's full sum otherwise.
+  bool (*sphere_block)(const float* center, const BoxSlab& slab, size_t base,
+                       double threshold, double* acc);
+
+  /// alive[l] = whether slab lane base+l intersects the query box
+  /// [query_lo, query_hi] (BoundingBox::Intersects semantics), for kBlock
+  /// lanes. May stop refining once every lane is dead.
+  void (*box_block)(const float* query_lo, const float* query_hi,
+                    const BoxSlab& slab, size_t base, bool* alive);
+
+  /// acc[l] = SquaredL2(query, row l) for the kBlock row-major rows
+  /// starting at `rows` (the caller pre-offsets to the block's first row),
+  /// with the same threshold/early-exit contract as sphere_block. A +inf
+  /// threshold never abandons.
+  bool (*row_block)(const float* query, const float* rows, size_t dim,
+                    double threshold, double* acc);
+};
+
+/// Portable batched implementation (plain C++, compiler-autovectorized).
+/// Always available; never returns null.
+const BlockOps* GenericOps();
+
+/// Explicit-ISA tables. Each returns null when its translation unit was not
+/// compiled for the target architecture (the TU self-guards on the arch +
+/// feature macros its per-file -m flags define); runtime CPU capability is
+/// checked separately by KernelModeSupported().
+const BlockOps* Avx2Ops();
+const BlockOps* Avx512Ops();
+const BlockOps* NeonOps();
+
+}  // namespace hdidx::geometry::kernels::isa
+
+#endif  // HDIDX_GEOMETRY_ISA_BLOCK_OPS_H_

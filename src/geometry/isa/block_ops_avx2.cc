@@ -1,0 +1,132 @@
+// AVX2 lanes for the kernel block primitives. This TU is compiled with
+// -mavx2 -ffp-contract=off (see src/CMakeLists.txt) and self-guards: on any
+// other target it compiles to just the null accessor, so the build never
+// needs per-arch source lists.
+//
+// Bit-identity notes (shared with the scalar oracle in kernels.cc):
+//  - std::max(a, b) returns a on NaN and on ties; x86 maxpd(src1, src2)
+//    returns src2 on NaN and on ties. Hence std::max(a, b) == maxpd(b, a),
+//    which fixes the operand order of every _mm256_max_pd below.
+//  - mul then add, never FMA: contraction would change rounding.
+//  - _CMP_GT_OQ matches scalar `>` on NaN (false), and early-exit votes may
+//    include the two padding-sentinel lanes (always +inf, see block_ops.h).
+#include "geometry/isa/block_ops.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace hdidx::geometry::kernels::isa {
+
+namespace {
+
+constexpr size_t kBlock = BoxSlab::kBlock;
+static_assert(kBlock == 8, "AVX2 lanes assume 8-wide blocks");
+
+bool SphereBlock(const float* center, const BoxSlab& slab, size_t base,
+                 double threshold, double* acc) {
+  const size_t dim = slab.dim();
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d thresh = _mm256_set1_pd(threshold);
+  __m256d acc0 = zero;
+  __m256d acc1 = zero;
+  for (size_t d = 0; d < dim; ++d) {
+    const __m256d q = _mm256_set1_pd(static_cast<double>(center[d]));
+    const float* lo = slab.lo_plane(d) + base;
+    const float* hi = slab.hi_plane(d) + base;
+    // Planes are 64B-aligned and base is a multiple of kBlock, so aligned
+    // loads are safe (and assert the arena layout contract).
+    const __m256d lo0 = _mm256_cvtps_pd(_mm_load_ps(lo));
+    const __m256d lo1 = _mm256_cvtps_pd(_mm_load_ps(lo + 4));
+    const __m256d hi0 = _mm256_cvtps_pd(_mm_load_ps(hi));
+    const __m256d hi1 = _mm256_cvtps_pd(_mm_load_ps(hi + 4));
+    // term = std::max(std::max(0.0, lo - q), q - hi)
+    const __m256d t0 = _mm256_max_pd(
+        _mm256_sub_pd(q, hi0),
+        _mm256_max_pd(_mm256_sub_pd(lo0, q), zero));
+    const __m256d t1 = _mm256_max_pd(
+        _mm256_sub_pd(q, hi1),
+        _mm256_max_pd(_mm256_sub_pd(lo1, q), zero));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(t0, t0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(t1, t1));
+    if ((d & 7) == 7 && d + 1 < dim) {
+      const __m256d over0 = _mm256_cmp_pd(acc0, thresh, _CMP_GT_OQ);
+      const __m256d over1 = _mm256_cmp_pd(acc1, thresh, _CMP_GT_OQ);
+      if (_mm256_movemask_pd(_mm256_and_pd(over0, over1)) == 0xF) {
+        return false;
+      }
+    }
+  }
+  _mm256_storeu_pd(acc, acc0);
+  _mm256_storeu_pd(acc + 4, acc1);
+  return true;
+}
+
+void BoxBlock(const float* query_lo, const float* query_hi,
+              const BoxSlab& slab, size_t base, bool* alive) {
+  const size_t dim = slab.dim();
+  __m256 alive_m = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+  for (size_t d = 0; d < dim; ++d) {
+    const __m256 q_lo = _mm256_set1_ps(query_lo[d]);
+    const __m256 q_hi = _mm256_set1_ps(query_hi[d]);
+    const __m256 lo = _mm256_load_ps(slab.lo_plane(d) + base);
+    const __m256 hi = _mm256_load_ps(slab.hi_plane(d) + base);
+    const __m256 dead = _mm256_or_ps(_mm256_cmp_ps(lo, q_hi, _CMP_GT_OQ),
+                                     _mm256_cmp_ps(q_lo, hi, _CMP_GT_OQ));
+    alive_m = _mm256_andnot_ps(dead, alive_m);
+    if ((d & 7) == 7 && d + 1 < dim) {
+      if (_mm256_movemask_ps(alive_m) == 0) break;
+    }
+  }
+  const int mask = _mm256_movemask_ps(alive_m);
+  for (size_t l = 0; l < kBlock; ++l) alive[l] = ((mask >> l) & 1) != 0;
+}
+
+bool RowBlock(const float* query, const float* rows, size_t dim,
+              double threshold, double* acc) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d thresh = _mm256_set1_pd(threshold);
+  __m256d acc0 = zero;
+  __m256d acc1 = zero;
+  for (size_t d = 0; d < dim; ++d) {
+    const __m256d q = _mm256_set1_pd(static_cast<double>(query[d]));
+    const float* p = rows + d;
+    // Rows are row-major, so lane l's coordinate sits at stride l * dim.
+    const __m128 f0 =
+        _mm_set_ps(p[3 * dim], p[2 * dim], p[1 * dim], p[0]);
+    const __m128 f1 =
+        _mm_set_ps(p[7 * dim], p[6 * dim], p[5 * dim], p[4 * dim]);
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(f0), q);
+    const __m256d d1 = _mm256_sub_pd(_mm256_cvtps_pd(f1), q);
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+    if ((d & 7) == 7 && d + 1 < dim) {
+      const __m256d over0 = _mm256_cmp_pd(acc0, thresh, _CMP_GT_OQ);
+      const __m256d over1 = _mm256_cmp_pd(acc1, thresh, _CMP_GT_OQ);
+      if (_mm256_movemask_pd(_mm256_and_pd(over0, over1)) == 0xF) {
+        return false;
+      }
+    }
+  }
+  _mm256_storeu_pd(acc, acc0);
+  _mm256_storeu_pd(acc + 4, acc1);
+  return true;
+}
+
+constexpr BlockOps kAvx2Ops = {&SphereBlock, &BoxBlock, &RowBlock};
+
+}  // namespace
+
+const BlockOps* Avx2Ops() { return &kAvx2Ops; }
+
+}  // namespace hdidx::geometry::kernels::isa
+
+#else  // !(__x86_64__ && __AVX2__)
+
+namespace hdidx::geometry::kernels::isa {
+const BlockOps* Avx2Ops() { return nullptr; }
+}  // namespace hdidx::geometry::kernels::isa
+
+#endif

@@ -5,10 +5,12 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <iostream>
 #include <queue>
 #include <string_view>
 
 #include "common/check.h"
+#include "geometry/isa/block_ops.h"
 
 namespace hdidx::geometry::kernels {
 
@@ -17,9 +19,62 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr size_t kBlock = BoxSlab::kBlock;
 
+static_assert(BoxSlab::kPlaneStride % kBlock == 0,
+              "plane padding must cover whole kernel blocks");
+
 // Test/bench override for the kernel mode; -1 = no override, the
 // HDIDX_KERNEL environment default applies.  (hdidx-lint: allow-global)
 std::atomic<int> g_mode_override{-1};
+
+/// Whether the running CPU has the ISA `mode` needs. Compile-target
+/// availability (was the isa/ TU built for this arch?) is a separate check;
+/// both must hold for KernelModeSupported.
+bool CpuSupportsIsa(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kScalar:
+    case KernelMode::kGeneric:
+      return true;
+    case KernelMode::kAvx2:
+#if defined(__x86_64__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case KernelMode::kAvx512:
+#if defined(__x86_64__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+    case KernelMode::kNeon:
+      // NEON is architecturally mandatory on aarch64, so compile-target
+      // support (NeonOps() != nullptr) implies runtime support.
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// The block-op table for `mode` (null for kScalar, which runs the inline
+/// oracle loops below). Callers must pass a supported mode.
+const isa::BlockOps* OpsFor(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kScalar:
+      return nullptr;
+    case KernelMode::kGeneric:
+      return isa::GenericOps();
+    case KernelMode::kAvx2:
+      return isa::Avx2Ops();
+    case KernelMode::kAvx512:
+      return isa::Avx512Ops();
+    case KernelMode::kNeon:
+      return isa::NeonOps();
+  }
+  return nullptr;
+}
 
 /// The per-dimension MINDIST term, branchless: max(0, lo - q, q - hi) as
 /// doubles. Bit-identical to the branches in geometry::SquaredMinDist
@@ -43,33 +98,6 @@ double LaneSquaredMinDist(std::span<const float> center, const BoxSlab& slab,
     s += diff * diff;
   }
   return s;
-}
-
-/// Accumulates one block of kBlock lanes at `base` with the batched
-/// early-exit: once every real lane's partial sum exceeds `threshold` the
-/// rest of the dimensions cannot change any comparison against it (sums of
-/// squares only grow), so the block is abandoned. Returns false on
-/// abandonment; acc[l] holds each lane's full sum otherwise.
-bool AccumulateSphereBlock(std::span<const float> center, const BoxSlab& slab,
-                           size_t base, size_t lanes, double threshold,
-                           std::array<double, kBlock>* acc) {
-  acc->fill(0.0);
-  const size_t dim = slab.dim();
-  for (size_t d = 0; d < dim; ++d) {
-    const double q = center[d];
-    const float* lo = slab.lo_plane(d) + base;
-    const float* hi = slab.hi_plane(d) + base;
-    for (size_t l = 0; l < kBlock; ++l) {
-      const double diff = MinDistTerm(q, lo[l], hi[l]);
-      (*acc)[l] += diff * diff;
-    }
-    if ((d & 7) == 7 && d + 1 < dim) {
-      bool all_over = true;
-      for (size_t l = 0; l < lanes; ++l) all_over &= (*acc)[l] > threshold;
-      if (all_over) return false;
-    }
-  }
-  return true;
 }
 
 /// KnnHeap's exact semantics (bounded max-heap of the k smallest squared
@@ -170,32 +198,17 @@ void ScanRows(std::span<const float> query, std::span<const float> rows,
   };
 
   size_t next = 0;
-  if (mode == KernelMode::kBatched) {
+  if (mode != KernelMode::kScalar) {
+    const isa::BlockOps* ops = OpsFor(mode);
     std::array<double, kBlock> acc;
     for (; next + kBlock <= n; next += kBlock) {
-      const double threshold = heap->Threshold();
-      acc.fill(0.0);
-      bool abandoned = false;
-      for (size_t d = 0; d < dim; ++d) {
-        const double q = query[d];
-        const float* p = base_ptr + next * dim + d;
-        for (size_t l = 0; l < kBlock; ++l) {
-          const double diff = static_cast<double>(p[l * dim]) - q;
-          acc[l] += diff * diff;
-        }
-        if ((d & 7) == 7 && d + 1 < dim) {
-          bool all_over = true;
-          for (size_t l = 0; l < kBlock; ++l) all_over &= acc[l] > threshold;
-          if (all_over) {
-            abandoned = true;
-            break;
-          }
-        }
-      }
       // Abandonment needs a full heap (threshold < +inf), so the skipped
       // pushes were no-ops and the exclusion rules are moot for them too:
       // every abandoned lane has d2 > threshold >= 0.
-      if (abandoned) continue;
+      if (!ops->row_block(query.data(), base_ptr + next * dim, dim,
+                          heap->Threshold(), acc.data())) {
+        continue;
+      }
       for (size_t l = 0; l < kBlock; ++l) consider(next + l, acc[l]);
     }
   }
@@ -212,15 +225,112 @@ struct DistanceHeapAdapter {
 
 }  // namespace
 
+bool KernelModeSupported(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kScalar:
+    case KernelMode::kGeneric:
+      return true;
+    case KernelMode::kAvx2:
+    case KernelMode::kAvx512:
+    case KernelMode::kNeon:
+      return OpsFor(mode) != nullptr && CpuSupportsIsa(mode);
+  }
+  return false;
+}
+
+KernelMode ResolveKernelMode(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kScalar:
+    case KernelMode::kGeneric:
+      return mode;
+    case KernelMode::kAvx512:
+      if (KernelModeSupported(KernelMode::kAvx512)) {
+        return KernelMode::kAvx512;
+      }
+      [[fallthrough]];
+    case KernelMode::kAvx2:
+      if (KernelModeSupported(KernelMode::kAvx2)) return KernelMode::kAvx2;
+      return KernelMode::kGeneric;
+    case KernelMode::kNeon:
+      if (KernelModeSupported(KernelMode::kNeon)) return KernelMode::kNeon;
+      return KernelMode::kGeneric;
+  }
+  return KernelMode::kGeneric;
+}
+
+KernelMode BestKernelMode() {
+  if (KernelModeSupported(KernelMode::kAvx512)) return KernelMode::kAvx512;
+  if (KernelModeSupported(KernelMode::kAvx2)) return KernelMode::kAvx2;
+  if (KernelModeSupported(KernelMode::kNeon)) return KernelMode::kNeon;
+  return KernelMode::kGeneric;
+}
+
+std::vector<KernelMode> SupportedKernelModes() {
+  std::vector<KernelMode> modes;
+  for (const KernelMode mode :
+       {KernelMode::kScalar, KernelMode::kGeneric, KernelMode::kAvx2,
+        KernelMode::kAvx512, KernelMode::kNeon}) {
+    if (KernelModeSupported(mode)) modes.push_back(mode);
+  }
+  return modes;
+}
+
+std::string_view KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kScalar:
+      return "scalar";
+    case KernelMode::kGeneric:
+      return "generic";
+    case KernelMode::kAvx2:
+      return "avx2";
+    case KernelMode::kAvx512:
+      return "avx512";
+    case KernelMode::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool ParseKernelMode(std::string_view name, KernelMode* mode) {
+  if (name == "scalar") {
+    *mode = KernelMode::kScalar;
+    return true;
+  }
+  if (name == "generic" || name == "batched") {  // "batched" = PR 5 name
+    *mode = KernelMode::kGeneric;
+    return true;
+  }
+  if (name == "avx2") {
+    *mode = KernelMode::kAvx2;
+    return true;
+  }
+  if (name == "avx512") {
+    *mode = KernelMode::kAvx512;
+    return true;
+  }
+  if (name == "neon") {
+    *mode = KernelMode::kNeon;
+    return true;
+  }
+  *mode = BestKernelMode();
+  return false;
+}
+
 KernelMode ActiveKernelMode() {
   const int forced = g_mode_override.load(std::memory_order_relaxed);
-  if (forced >= 0) return static_cast<KernelMode>(forced);
+  if (forced >= 0) return ResolveKernelMode(static_cast<KernelMode>(forced));
   static const KernelMode from_env = [] {
     const char* env = std::getenv("HDIDX_KERNEL");
-    if (env != nullptr && std::string_view(env) == "scalar") {
-      return KernelMode::kScalar;
+    // An empty value (e.g. `HDIDX_KERNEL= prog`) means unset, not garbage.
+    if (env == nullptr || *env == '\0') return BestKernelMode();
+    KernelMode parsed = KernelMode::kGeneric;
+    if (!ParseKernelMode(env, &parsed)) {
+      // Deterministic fallback, never UB: warn once (stderr — stdout is the
+      // serving protocol) and run the host's best mode.
+      std::cerr << "hdidx: unknown HDIDX_KERNEL value \"" << env
+                << "\"; falling back to " << KernelModeName(parsed) << "\n";
     }
-    return KernelMode::kBatched;
+    return ResolveKernelMode(parsed);
   }();
   return from_env;
 }
@@ -235,12 +345,18 @@ void ClearKernelModeOverride() {
 
 void BoxSlab::Fill(size_t count, size_t dim,
                    const BoundingBox& (*get)(const void*, size_t),
-                   const void* ctx) {
+                   const void* ctx, common::Arena* arena) {
   size_ = count;
   dim_ = dim;
-  padded_ = (count + kBlock - 1) / kBlock * kBlock;
-  lo_.assign(dim_ * padded_, std::numeric_limits<float>::infinity());
-  hi_.assign(dim_ * padded_, -std::numeric_limits<float>::infinity());
+  padded_ = (count + kPlaneStride - 1) / kPlaneStride * kPlaneStride;
+  common::Arena* backing = arena != nullptr ? arena : &owned_;
+  // Two 64B-aligned arena arrays; padded_ is a multiple of 16 floats, so
+  // every per-dimension plane inside them starts on a cacheline boundary.
+  // Writing the planes here is the first touch, on the building thread.
+  lo_ = backing->AllocateArray<float>(dim_ * padded_);
+  hi_ = backing->AllocateArray<float>(dim_ * padded_);
+  std::fill_n(lo_, dim_ * padded_, std::numeric_limits<float>::infinity());
+  std::fill_n(hi_, dim_ * padded_, -std::numeric_limits<float>::infinity());
   for (size_t b = 0; b < count; ++b) {
     const BoundingBox& box = get(ctx, b);
     HDIDX_CHECK(box.dim() == dim_);
@@ -252,24 +368,25 @@ void BoxSlab::Fill(size_t count, size_t dim,
   }
 }
 
-BoxSlab::BoxSlab(std::span<const BoundingBox> boxes) {
+BoxSlab::BoxSlab(std::span<const BoundingBox> boxes, common::Arena* arena) {
   if (boxes.empty()) return;
   Fill(
       boxes.size(), boxes[0].dim(),
       [](const void* ctx, size_t i) -> const BoundingBox& {
         return static_cast<const BoundingBox*>(ctx)[i];
       },
-      boxes.data());
+      boxes.data(), arena);
 }
 
-BoxSlab::BoxSlab(std::span<const BoundingBox* const> boxes) {
+BoxSlab::BoxSlab(std::span<const BoundingBox* const> boxes,
+                 common::Arena* arena) {
   if (boxes.empty()) return;
   Fill(
       boxes.size(), boxes[0]->dim(),
       [](const void* ctx, size_t i) -> const BoundingBox& {
         return *static_cast<const BoundingBox* const*>(ctx)[i];
       },
-      boxes.data());
+      boxes.data(), arena);
 }
 
 size_t CountSphereHits(std::span<const float> center, double r2,
@@ -281,6 +398,7 @@ size_t CountSphereHits(std::span<const float> center, double r2,
                        const BoxSlab& slab, KernelMode mode) {
   if (slab.size() == 0) return 0;
   HDIDX_CHECK(center.size() == slab.dim());
+  mode = ResolveKernelMode(mode);
   size_t count = 0;
   if (mode == KernelMode::kScalar) {
     for (size_t b = 0; b < slab.size(); ++b) {
@@ -288,10 +406,13 @@ size_t CountSphereHits(std::span<const float> center, double r2,
     }
     return count;
   }
+  const isa::BlockOps* ops = OpsFor(mode);
   std::array<double, kBlock> acc;
   for (size_t base = 0; base < slab.size(); base += kBlock) {
     const size_t lanes = std::min(kBlock, slab.size() - base);
-    if (!AccumulateSphereBlock(center, slab, base, lanes, r2, &acc)) continue;
+    if (!ops->sphere_block(center.data(), slab, base, r2, acc.data())) {
+      continue;
+    }
     for (size_t l = 0; l < lanes; ++l) {
       if (acc[l] <= r2) ++count;
     }
@@ -309,6 +430,7 @@ void AppendSphereHits(std::span<const float> center, double r2,
                       KernelMode mode) {
   if (slab.size() == 0) return;
   HDIDX_CHECK(center.size() == slab.dim());
+  mode = ResolveKernelMode(mode);
   if (mode == KernelMode::kScalar) {
     for (size_t b = 0; b < slab.size(); ++b) {
       if (LaneSquaredMinDist(center, slab, b) <= r2) {
@@ -317,10 +439,13 @@ void AppendSphereHits(std::span<const float> center, double r2,
     }
     return;
   }
+  const isa::BlockOps* ops = OpsFor(mode);
   std::array<double, kBlock> acc;
   for (size_t base = 0; base < slab.size(); base += kBlock) {
     const size_t lanes = std::min(kBlock, slab.size() - base);
-    if (!AccumulateSphereBlock(center, slab, base, lanes, r2, &acc)) continue;
+    if (!ops->sphere_block(center.data(), slab, base, r2, acc.data())) {
+      continue;
+    }
     for (size_t l = 0; l < lanes; ++l) {
       if (acc[l] <= r2) hits->push_back(static_cast<uint32_t>(base + l));
     }
@@ -335,6 +460,7 @@ size_t CountBoxHits(const BoundingBox& query, const BoxSlab& slab,
                     KernelMode mode) {
   if (slab.size() == 0 || query.empty()) return 0;
   HDIDX_CHECK(query.dim() == slab.dim());
+  mode = ResolveKernelMode(mode);
   const size_t dim = slab.dim();
   size_t count = 0;
   if (mode == KernelMode::kScalar) {
@@ -351,24 +477,12 @@ size_t CountBoxHits(const BoundingBox& query, const BoxSlab& slab,
     }
     return count;
   }
+  const isa::BlockOps* ops = OpsFor(mode);
   std::array<bool, kBlock> alive;
   for (size_t base = 0; base < slab.size(); base += kBlock) {
     const size_t lanes = std::min(kBlock, slab.size() - base);
-    alive.fill(true);
-    for (size_t d = 0; d < dim; ++d) {
-      const float q_lo = query.lo()[d];
-      const float q_hi = query.hi()[d];
-      const float* lo = slab.lo_plane(d) + base;
-      const float* hi = slab.hi_plane(d) + base;
-      for (size_t l = 0; l < kBlock; ++l) {
-        alive[l] = alive[l] && !(lo[l] > q_hi || q_lo > hi[l]);
-      }
-      if ((d & 7) == 7 && d + 1 < dim) {
-        bool any = false;
-        for (size_t l = 0; l < lanes; ++l) any |= alive[l];
-        if (!any) break;
-      }
-    }
+    ops->box_block(query.lo().data(), query.hi().data(), slab, base,
+                   alive.data());
     for (size_t l = 0; l < lanes; ++l) {
       if (alive[l]) ++count;
     }
@@ -384,6 +498,7 @@ size_t NearestBox(std::span<const float> point, const BoxSlab& slab,
                   KernelMode mode) {
   HDIDX_CHECK(slab.size() > 0);
   HDIDX_CHECK(point.size() == slab.dim());
+  mode = ResolveKernelMode(mode);
   size_t best = 0;
   double best_d2 = kInf;
   if (mode == KernelMode::kScalar) {
@@ -403,17 +518,18 @@ size_t NearestBox(std::span<const float> point, const BoxSlab& slab,
     }
     return best;
   }
+  const isa::BlockOps* ops = OpsFor(mode);
   std::array<double, kBlock> acc;
   for (size_t base = 0; base < slab.size(); base += kBlock) {
     const size_t lanes = std::min(kBlock, slab.size() - base);
     // A lane whose partial sum already reaches best_d2 cannot win (the
-    // update is strict <). AccumulateSphereBlock abandons on partial >
-    // threshold, so pass the largest double still allowed to win:
-    // nextafter(best_d2, 0) — for positive finite best_d2 (0 returns
-    // early), acc > nextafter(best_d2, 0) iff acc >= best_d2.
+    // update is strict <). sphere_block abandons on partial > threshold,
+    // so pass the largest double still allowed to win: nextafter(best_d2,
+    // 0) — for positive finite best_d2 (0 returns early), acc >
+    // nextafter(best_d2, 0) iff acc >= best_d2.
     const double threshold =
         best_d2 == kInf ? kInf : std::nextafter(best_d2, 0.0);
-    if (!AccumulateSphereBlock(point, slab, base, lanes, threshold, &acc)) {
+    if (!ops->sphere_block(point.data(), slab, base, threshold, acc.data())) {
       continue;
     }
     for (size_t l = 0; l < lanes; ++l) {
@@ -429,21 +545,30 @@ size_t NearestBox(std::span<const float> point, const BoxSlab& slab,
 
 void BatchedSquaredL2(std::span<const float> query, const float* rows,
                       size_t count, size_t dim, double* out) {
+  BatchedSquaredL2(query, rows, count, dim, out, ActiveKernelMode());
+}
+
+void BatchedSquaredL2(std::span<const float> query, const float* rows,
+                      size_t count, size_t dim, double* out,
+                      KernelMode mode) {
   HDIDX_CHECK(dim > 0);
   HDIDX_CHECK(query.size() == dim);
-  std::array<double, kBlock> acc;
-  for (size_t base = 0; base < count; base += kBlock) {
-    const size_t lanes = std::min(kBlock, count - base);
-    acc.fill(0.0);
-    for (size_t d = 0; d < dim; ++d) {
-      const double q = query[d];
-      const float* p = rows + base * dim + d;
-      for (size_t l = 0; l < lanes; ++l) {
-        const double diff = static_cast<double>(p[l * dim]) - q;
-        acc[l] += diff * diff;
-      }
+  mode = ResolveKernelMode(mode);
+  size_t next = 0;
+  if (mode != KernelMode::kScalar) {
+    const isa::BlockOps* ops = OpsFor(mode);
+    for (; next + kBlock <= count; next += kBlock) {
+      ops->row_block(query.data(), rows + next * dim, dim, kInf, out + next);
     }
-    for (size_t l = 0; l < lanes; ++l) out[base + l] = acc[l];
+  }
+  for (; next < count; ++next) {
+    const float* p = rows + next * dim;
+    double d2 = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = static_cast<double>(p[d]) - query[d];
+      d2 += diff * diff;
+    }
+    out[next] = d2;
   }
 }
 
@@ -458,7 +583,7 @@ double KthDistanceScan(std::span<const float> query,
                        const ScanOptions& opts, KernelMode mode) {
   HDIDX_CHECK(k > 0);
   DistanceHeapAdapter heap(k);
-  ScanRows(query, rows, dim, opts, mode, &heap);
+  ScanRows(query, rows, dim, opts, ResolveKernelMode(mode), &heap);
   return heap.Threshold();
 }
 
@@ -473,7 +598,7 @@ std::vector<std::pair<double, size_t>> TopKNeighborScan(
     size_t k, const ScanOptions& opts, KernelMode mode) {
   if (k == 0) return {};
   BoundedPairHeap heap(k);
-  ScanRows(query, rows, dim, opts, mode, &heap);
+  ScanRows(query, rows, dim, opts, ResolveKernelMode(mode), &heap);
   return heap.TakeSortedAscending();
 }
 

@@ -5,33 +5,82 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "geometry/bounding_box.h"
 
 namespace hdidx::geometry::kernels {
 
 /// Which implementation the dispatching kernel entry points run.
 ///
-/// kScalar is the retained reference: one candidate at a time, exactly the
-/// loops the library shipped with. kBatched evaluates one query against many
-/// candidates at once, vectorizing *across* candidates — never within a
-/// single distance reduction — so every individual distance keeps the
-/// scalar accumulation order and every count, radius, and assignment is
-/// bit-identical to the scalar mode. Early exits only ever use the fact
-/// that adding a non-negative term to a non-negative IEEE double is
-/// monotone, so abandoning a candidate whose partial sum already exceeds
-/// the decision threshold cannot change any decision.
-enum class KernelMode { kScalar, kBatched };
+/// kScalar is the retained reference oracle: one candidate at a time,
+/// exactly the loops the library shipped with. Every other mode evaluates
+/// one query against many candidates at once, vectorizing *across*
+/// candidates — never within a single distance reduction — so every
+/// individual distance keeps the scalar accumulation order and every
+/// count, radius, and assignment is bit-identical to the scalar mode.
+/// Early exits only ever use the fact that adding a non-negative term to a
+/// non-negative IEEE double is monotone, so abandoning a candidate whose
+/// partial sum already exceeds the decision threshold cannot change any
+/// decision.
+///
+/// kGeneric is the portable batched implementation (plain C++, compiler
+/// autovectorized — PR 5's "batched" mode). kAvx2/kAvx512/kNeon are
+/// explicit-intrinsic lanes in src/geometry/isa/, available only when both
+/// the build targets the architecture and the running CPU reports the
+/// feature; requesting an unavailable one downgrades (never UB), see
+/// ResolveKernelMode().
+enum class KernelMode {
+  kScalar = 0,
+  kGeneric = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+  kNeon = 4,
+};
+
+/// Number of enumerators in KernelMode (for sweeps).
+inline constexpr size_t kNumKernelModes = 5;
+
+/// Whether `mode` can run on this build + CPU (compile-target support and
+/// runtime feature detection). kScalar and kGeneric are always supported.
+bool KernelModeSupported(KernelMode mode);
+
+/// `mode` if supported, else its deterministic downgrade: kAvx512 falls to
+/// kAvx2 then kGeneric; kAvx2 and kNeon fall to kGeneric. The result is
+/// always supported.
+KernelMode ResolveKernelMode(KernelMode mode);
+
+/// The widest supported mode on this host (never kScalar: kGeneric when no
+/// explicit ISA is available).
+KernelMode BestKernelMode();
+
+/// All supported modes, deterministic order: kScalar, kGeneric, then any
+/// explicit ISAs. The sweep set for equivalence tests and benches.
+std::vector<KernelMode> SupportedKernelModes();
+
+/// Stable lowercase name ("scalar", "generic", "avx2", "avx512", "neon") —
+/// the accepted HDIDX_KERNEL values.
+std::string_view KernelModeName(KernelMode mode);
+
+/// Parses a mode name. Recognized names (plus the legacy alias "batched"
+/// for kGeneric) return true and store the named mode, unresolved — the
+/// caller decides whether to downgrade. Unknown names return false and
+/// store BestKernelMode(), the deterministic fallback ActiveKernelMode()
+/// warns about.
+bool ParseKernelMode(std::string_view name, KernelMode* mode);
 
 /// The mode the dispatching kernels run in: the process-wide override if one
-/// is set (tests/benches), else the HDIDX_KERNEL environment variable
-/// ("scalar" or "batched", read once), else kBatched.
+/// is set (tests/benches), else the HDIDX_KERNEL environment variable (read
+/// once; unknown values warn on stderr once and fall back), else
+/// BestKernelMode(). Always returns a supported mode — requests for
+/// unavailable ISAs resolve through ResolveKernelMode().
 KernelMode ActiveKernelMode();
 
-/// Process-wide mode override (A/B tests compare both modes in one
-/// process). Thread-safe; flip only between queries, not during one.
+/// Process-wide mode override (A/B tests compare modes in one process).
+/// Thread-safe; flip only between queries, not during one.
 void SetKernelMode(KernelMode mode);
 
 /// Removes the override, falling back to HDIDX_KERNEL / the default.
@@ -42,8 +91,16 @@ inline constexpr size_t kNoRow = static_cast<size_t>(-1);
 
 /// Structure-of-arrays layout over a set of MBRs: for every dimension d a
 /// contiguous plane of lo values and a plane of hi values across all boxes,
-/// padded to a multiple of kBlock lanes so kernels process fixed-width
-/// blocks without tail branches.
+/// padded to a multiple of kPlaneStride lanes so kernels process fixed-width
+/// blocks without tail branches and every plane starts on a cacheline
+/// boundary.
+///
+/// Storage lives in a common::Arena — either one passed in (a tree placing
+/// its directory slabs next to its nodes) or an internally owned one — so
+/// planes are 64-byte-aligned and contiguous rather than scattered
+/// per-vector heap blocks. The slab writes its planes at build time on the
+/// calling thread (first touch), and is immutable afterwards; it is movable
+/// but not copyable, like the arena backing it.
 ///
 /// Padding lanes and empty boxes store the sentinel (lo=+inf, hi=-inf):
 /// any query coordinate is "outside" by an infinite margin, so their
@@ -54,46 +111,59 @@ class BoxSlab {
  public:
   /// Lanes per kernel block; the padded size is a multiple of this.
   static constexpr size_t kBlock = 8;
+  /// Plane padding granularity: 16 floats = one 64-byte cacheline, so
+  /// every lo/hi plane is cacheline-aligned inside the arena block.
+  static constexpr size_t kPlaneStride = 16;
 
   /// An empty slab (size() == 0). Dispatching call sites use this as the
   /// "no slab built" placeholder on the scalar path.
   BoxSlab() = default;
 
-  /// Builds the slab over `boxes` (all of equal dimensionality).
-  explicit BoxSlab(std::span<const BoundingBox> boxes);
+  BoxSlab(const BoxSlab&) = delete;
+  BoxSlab& operator=(const BoxSlab&) = delete;
+  BoxSlab(BoxSlab&&) = default;
+  BoxSlab& operator=(BoxSlab&&) = default;
+
+  /// Builds the slab over `boxes` (all of equal dimensionality) into
+  /// `arena`, or into an internally owned arena when null.
+  explicit BoxSlab(std::span<const BoundingBox> boxes,
+                   common::Arena* arena = nullptr);
 
   /// Builds the slab over boxes reached through pointers (used by tree
   /// nodes, whose child boxes are not contiguous in memory).
-  explicit BoxSlab(std::span<const BoundingBox* const> boxes);
+  explicit BoxSlab(std::span<const BoundingBox* const> boxes,
+                   common::Arena* arena = nullptr);
 
   /// Number of real boxes.
   size_t size() const { return size_; }
   /// Dimensionality (0 for an empty slab).
   size_t dim() const { return dim_; }
-  /// size() rounded up to a multiple of kBlock.
+  /// size() rounded up to a multiple of kPlaneStride.
   size_t padded_size() const { return padded_; }
 
   /// Plane of lo (resp. hi) coordinates of dimension `d` across all
-  /// padded_size() lanes.
-  const float* lo_plane(size_t d) const { return lo_.data() + d * padded_; }
-  const float* hi_plane(size_t d) const { return hi_.data() + d * padded_; }
+  /// padded_size() lanes. 64-byte-aligned.
+  const float* lo_plane(size_t d) const { return lo_ + d * padded_; }
+  const float* hi_plane(size_t d) const { return hi_ + d * padded_; }
 
  private:
   void Fill(size_t count, size_t dim,
-            const BoundingBox& (*get)(const void*, size_t), const void* ctx);
+            const BoundingBox& (*get)(const void*, size_t), const void* ctx,
+            common::Arena* arena);
 
   size_t size_ = 0;
   size_t dim_ = 0;
   size_t padded_ = 0;
-  std::vector<float> lo_;  // dim_ planes of padded_ floats each
-  std::vector<float> hi_;
+  float* lo_ = nullptr;  // dim_ planes of padded_ floats each, arena-owned
+  float* hi_ = nullptr;
+  common::Arena owned_;  // backs lo_/hi_ when no external arena was given
 };
 
 /// Number of slab boxes whose SquaredMinDist to `center` is <= r2 — i.e.
 /// how many page MBRs a query sphere with squared radius r2 intersects.
 /// Decision-identical to testing SquaredMinDist(center, box) <= r2 per box
 /// (empty boxes count only when r2 is +inf, matching their infinite
-/// SquaredMinDist). The batched path abandons a block once every lane's
+/// SquaredMinDist). The batched paths abandon a block once every lane's
 /// partial sum exceeds r2.
 size_t CountSphereHits(std::span<const float> center, double r2,
                        const BoxSlab& slab);
@@ -129,6 +199,8 @@ size_t NearestBox(std::span<const float> point, const BoxSlab& slab,
 /// SquaredL2).
 void BatchedSquaredL2(std::span<const float> query, const float* rows,
                       size_t count, size_t dim, double* out);
+void BatchedSquaredL2(std::span<const float> query, const float* rows,
+                      size_t count, size_t dim, double* out, KernelMode mode);
 
 /// Row-exclusion rules shared by the k-NN scan kernels; mirrors the three
 /// scalar loops the kernels replace.
@@ -146,7 +218,7 @@ struct ScanOptions {
 /// k-th smallest squared L2 distance from `query` to the n = rows.size() /
 /// dim row-major rows that pass `opts` (+inf when fewer than k qualify).
 /// Heap semantics and accumulation order match the scalar KnnHeap loop
-/// exactly; the batched path abandons a row once its partial sum exceeds
+/// exactly; the batched paths abandon a row once its partial sum exceeds
 /// the current k-th threshold (a no-op push either way).
 double KthDistanceScan(std::span<const float> query,
                        std::span<const float> rows, size_t dim, size_t k,

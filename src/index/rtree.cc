@@ -1,5 +1,6 @@
 #include "index/rtree.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.h"
@@ -40,14 +41,20 @@ uint32_t RTree::AddDirectory(uint32_t level, std::vector<uint32_t> children) {
     node.box.ExtendBox(nodes_[child].box);
     child_boxes.push_back(&nodes_[child].box);
   }
-  node.children = std::move(children);
+  // The id array moves into the tree's arena (first touch happens here, on
+  // the building thread), so directory payloads and slab planes share the
+  // same few cacheline-aligned blocks.
+  uint32_t* ids = arena_.AllocateArray<uint32_t>(children.size());
+  std::copy(children.begin(), children.end(), ids);
+  node.children = std::span<const uint32_t>(ids, children.size());
   const uint32_t id = static_cast<uint32_t>(nodes_.size());
   // Child MBRs are final once their nodes exist (construction is bottom-up
   // and boxes are never mutated afterwards), so the slab copies them now
   // and serves the node's whole lifetime. Built before the push_back below:
   // growing nodes_ relocates the child boxes the pointers reference.
   child_slabs_.emplace_back(std::span<const geometry::BoundingBox* const>(
-      child_boxes.data(), child_boxes.size()));
+                                child_boxes.data(), child_boxes.size()),
+                            &arena_);
   nodes_.push_back(std::move(node));
   return id;
 }
@@ -71,7 +78,7 @@ RTree::AccessCount RTree::CountSphereAccesses(std::span<const float> center,
   if (!root_hit) return count;
   const geometry::kernels::KernelMode mode =
       geometry::kernels::ActiveKernelMode();
-  if (mode == geometry::kernels::KernelMode::kBatched) {
+  if (mode != geometry::kernels::KernelMode::kScalar) {
     // DFS over hit directory nodes; each pop tests all children against the
     // node's SoA slab at once. Membership (SquaredMinDist <= r2 per child)
     // matches the scalar DFS exactly, and page totals are integer sums, so

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "geometry/bounding_box.h"
 #include "geometry/kernels.h"
 
@@ -24,8 +25,10 @@ struct RTreeNode {
   /// Leaf payload: range into RTree::order().
   uint32_t start = 0;
   uint32_t count = 0;
-  /// Directory payload: ids of child nodes (empty for leaves).
-  std::vector<uint32_t> children;
+  /// Directory payload: ids of child nodes (empty for leaves). Points into
+  /// the owning RTree's arena — valid for the tree's lifetime, including
+  /// across moves of the tree.
+  std::span<const uint32_t> children;
   /// Disk pages this node occupies (1 for ordinary nodes; X-tree
   /// supernodes span several and charge accordingly).
   uint32_t pages = 1;
@@ -46,6 +49,13 @@ class RTree {
  public:
   /// Creates an empty tree over points of dimensionality `dim`.
   explicit RTree(size_t dim);
+
+  // Movable, not copyable: node child arrays and directory slabs live in
+  // the tree-owned arena below.
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
 
   size_t dim() const { return dim_; }
   size_t num_nodes() const { return nodes_.size(); }
@@ -93,11 +103,11 @@ class RTree {
   /// read). Returns (leaf accesses, directory accesses). Requires
   /// radius >= 0 (a NaN radius used to silently count zero pages).
   ///
-  /// In batched kernel mode (the default) each visited directory node tests
-  /// all its children at once against the SoA slab built at AddDirectory
-  /// time; scalar mode runs the original one-box-at-a-time DFS. Both count
-  /// exactly the nodes with SquaredMinDist <= radius², so the result is
-  /// identical either way.
+  /// In every non-scalar kernel mode (the default) each visited directory
+  /// node tests all its children at once against the SoA slab built at
+  /// AddDirectory time; scalar mode runs the original one-box-at-a-time
+  /// DFS. Both count exactly the nodes with SquaredMinDist <= radius², so
+  /// the result is identical in every mode.
   struct AccessCount {
     size_t leaf_accesses = 0;
     size_t dir_accesses = 0;
@@ -115,6 +125,12 @@ class RTree {
 
  private:
   size_t dim_;
+  /// Backs every node's child id array and every directory slab's lo/hi
+  /// planes: the whole traversal working set sits in a few 64B-aligned
+  /// blocks instead of per-node heap allocations. Single-owner contract
+  /// (common::Arena): written only by the Add* construction calls on the
+  /// building thread, read-only and safely shared once built.
+  common::Arena arena_;
   std::vector<RTreeNode> nodes_;
   /// Per-node SoA slab over the node's children's MBRs (empty for leaves),
   /// parallel to nodes_. Built in AddDirectory — child boxes never change

@@ -38,12 +38,12 @@ size_t QueryWorkload::CountIntersections(
   if (slab.size() != boxes.size() || slab.size() == 0) {
     return QueryRegions::CountIntersections(i, boxes, slab);
   }
-  // The caller built the slab, so it already chose the batched path; the
-  // explicit mode keeps one query's counting on one kernel even if the
-  // process-wide override flips mid-prediction.
-  return geometry::kernels::CountSphereHits(
-      queries_.row(i), radii_[i] * radii_[i], slab,
-      geometry::kernels::KernelMode::kBatched);
+  // The caller built the slab, so it already chose a batched path; every
+  // non-scalar mode returns identical counts, so re-reading the active mode
+  // here cannot change results even if the override flips mid-prediction.
+  return geometry::kernels::CountSphereHits(queries_.row(i),
+                                            radii_[i] * radii_[i], slab,
+                                            geometry::kernels::ActiveKernelMode());
 }
 
 QueryWorkload QueryWorkload::Create(const data::Dataset& data, size_t q,

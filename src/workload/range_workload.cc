@@ -91,8 +91,8 @@ size_t RangeWorkload::CountIntersections(
   if (slab.size() != boxes.size() || slab.size() == 0) {
     return QueryRegions::CountIntersections(i, boxes, slab);
   }
-  return geometry::kernels::CountBoxHits(boxes_[i], slab,
-                                         geometry::kernels::KernelMode::kBatched);
+  return geometry::kernels::CountBoxHits(
+      boxes_[i], slab, geometry::kernels::ActiveKernelMode());
 }
 
 }  // namespace hdidx::workload

@@ -1,0 +1,123 @@
+/// Unit tests for the bump-pointer arena backing the kernel layer's hot
+/// structures: alignment of every allocation, pointer stability across
+/// growth and moves, block doubling, and the aligned vector allocator.
+
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hdidx::common {
+namespace {
+
+uintptr_t Addr(const void* p) { return reinterpret_cast<uintptr_t>(p); }
+
+TEST(ArenaTest, EveryAllocationIsCachelineAligned) {
+  Arena arena;
+  // Odd sizes force the bump pointer through unaligned offsets; the next
+  // allocation must still come back aligned.
+  for (const size_t bytes : {1u, 3u, 64u, 65u, 127u, 4096u, 13u}) {
+    void* p = arena.Allocate(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(Addr(p) % Arena::kAlignment, 0u) << bytes;
+    std::memset(p, 0xAB, bytes);  // must be writable
+  }
+}
+
+TEST(ArenaTest, ZeroByteAllocationIsValidAndUnique) {
+  Arena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(Addr(a) % Arena::kAlignment, 0u);
+}
+
+TEST(ArenaTest, PointersSurviveGrowthAndMoves) {
+  Arena arena;
+  std::vector<int*> arrays;
+  std::vector<size_t> sizes;
+  // Allocate enough to force several new blocks past the first.
+  for (size_t i = 0; i < 200; ++i) {
+    const size_t count = 100 + 37 * i;
+    int* a = arena.AllocateArray<int>(count);
+    std::iota(a, a + count, static_cast<int>(i));
+    arrays.push_back(a);
+    sizes.push_back(count);
+  }
+  EXPECT_GT(arena.num_blocks(), 1u);
+
+  Arena moved = std::move(arena);
+  Arena assigned;
+  assigned = std::move(moved);
+  // Every previously returned array is intact and readable through the
+  // twice-moved arena.
+  for (size_t i = 0; i < arrays.size(); ++i) {
+    EXPECT_EQ(arrays[i][0], static_cast<int>(i));
+    EXPECT_EQ(arrays[i][sizes[i] - 1],
+              static_cast<int>(i + sizes[i] - 1));
+  }
+  // The moved-into arena still allocates.
+  int* more = assigned.AllocateArray<int>(16);
+  EXPECT_EQ(Addr(more) % Arena::kAlignment, 0u);
+}
+
+TEST(ArenaTest, AccountingTracksRoundedBytes) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.num_blocks(), 0u);
+  arena.Allocate(1);
+  // One byte costs one aligned slot.
+  EXPECT_EQ(arena.bytes_allocated(), Arena::kAlignment);
+  EXPECT_GE(arena.bytes_reserved(), Arena::kMinBlockBytes);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  arena.Allocate(Arena::kAlignment);
+  EXPECT_EQ(arena.bytes_allocated(), 2 * Arena::kAlignment);
+  // Reserved never shrinks below allocated.
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(ArenaTest, OversizedAllocationGetsItsOwnBlock) {
+  Arena arena;
+  arena.Allocate(16);  // first, small block
+  const size_t huge = Arena::kMaxBlockBytes + 4096;
+  std::byte* p = static_cast<std::byte*>(arena.Allocate(huge));
+  EXPECT_EQ(Addr(p) % Arena::kAlignment, 0u);
+  // Whole range is usable.
+  p[0] = std::byte{1};
+  p[huge - 1] = std::byte{2};
+  EXPECT_GE(arena.bytes_reserved(), huge);
+}
+
+TEST(ArenaTest, BlockSizesDoubleUpToCap) {
+  Arena arena;
+  size_t last_blocks = 0;
+  // Many small allocations: block count should grow far slower than the
+  // allocation count because each new block doubles.
+  for (int i = 0; i < 5000; ++i) {
+    arena.Allocate(256);
+    last_blocks = arena.num_blocks();
+  }
+  EXPECT_LT(last_blocks, 32u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(AlignedVectorTest, BufferIsCachelineAlignedAndGrowable) {
+  AlignedVector<float> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<float>(i));
+  EXPECT_EQ(Addr(v.data()) % Arena::kAlignment, 0u);
+  EXPECT_EQ(v[999], 999.f);
+  AlignedVector<float> copy = v;
+  EXPECT_EQ(Addr(copy.data()) % Arena::kAlignment, 0u);
+  EXPECT_EQ(copy, v);
+}
+
+}  // namespace
+}  // namespace hdidx::common

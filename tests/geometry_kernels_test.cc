@@ -1,14 +1,18 @@
 /// Unit tests for the batched geometry kernels: exact (bit-level) agreement
-/// with the retained scalar reference loops, slab layout/sentinel behavior,
-/// the scan exclusion rules, and the mode dispatch machinery.
+/// with the retained scalar reference loops across every ISA reachable on
+/// the host, slab layout/alignment/sentinel behavior, the scan exclusion
+/// rules, and the mode detection/dispatch machinery.
 
 #include "geometry/kernels.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/random.h"
 #include "geometry/bounding_box.h"
 #include "geometry/distance.h"
@@ -23,6 +27,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 struct ModeOverrideGuard {
   ~ModeOverrideGuard() { ClearKernelModeOverride(); }
 };
+
+/// Every mode runnable on this host — kScalar first, so mode sweeps always
+/// compare the vector lanes against the retained oracle.
+std::vector<KernelMode> AllModes() { return SupportedKernelModes(); }
+
+/// The batched (non-scalar) modes runnable on this host.
+std::vector<KernelMode> BatchedModes() {
+  std::vector<KernelMode> modes = SupportedKernelModes();
+  modes.erase(std::remove(modes.begin(), modes.end(), KernelMode::kScalar),
+              modes.end());
+  return modes;
+}
 
 std::vector<float> RandomPoint(common::Rng* rng, size_t dim, double lo = -1.0,
                                double hi = 2.0) {
@@ -52,7 +68,8 @@ TEST(BoxSlabTest, LayoutAndPadding) {
   const BoxSlab slab{std::span<const BoundingBox>(boxes)};
   EXPECT_EQ(slab.size(), 11u);
   EXPECT_EQ(slab.dim(), 3u);
-  EXPECT_EQ(slab.padded_size(), 16u);  // rounded up to a multiple of kBlock
+  // Rounded up to a multiple of kPlaneStride (a whole cacheline of floats).
+  EXPECT_EQ(slab.padded_size(), 16u);
   for (size_t d = 0; d < 3; ++d) {
     for (size_t b = 0; b < 11; ++b) {
       EXPECT_EQ(slab.lo_plane(d)[b], boxes[b].lo()[d]);
@@ -64,6 +81,44 @@ TEST(BoxSlabTest, LayoutAndPadding) {
       EXPECT_EQ(slab.hi_plane(d)[b], -std::numeric_limits<float>::infinity());
     }
   }
+}
+
+TEST(BoxSlabTest, PlanesAreCachelineAligned) {
+  common::Rng rng(47);
+  for (const size_t count : {1u, 8u, 11u, 16u, 17u, 64u}) {
+    std::vector<BoundingBox> boxes;
+    for (size_t i = 0; i < count; ++i) boxes.push_back(RandomBox(&rng, 5));
+    const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+    EXPECT_EQ(slab.padded_size() % BoxSlab::kPlaneStride, 0u);
+    for (size_t d = 0; d < slab.dim(); ++d) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(slab.lo_plane(d)) %
+                    common::Arena::kAlignment,
+                0u)
+          << "count " << count << ", dim " << d;
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(slab.hi_plane(d)) %
+                    common::Arena::kAlignment,
+                0u)
+          << "count " << count << ", dim " << d;
+    }
+  }
+}
+
+TEST(BoxSlabTest, ExternalArenaBacksPlanes) {
+  common::Rng rng(53);
+  common::Arena arena;
+  std::vector<BoundingBox> boxes;
+  for (int i = 0; i < 9; ++i) boxes.push_back(RandomBox(&rng, 3));
+  const BoxSlab slab{std::span<const BoundingBox>(boxes), &arena};
+  // Both planes were carved out of the shared arena.
+  EXPECT_GE(arena.bytes_allocated(),
+            2 * slab.dim() * slab.padded_size() * sizeof(float));
+  // Moving the slab keeps the arena-backed planes valid.
+  const BoxSlab moved = [&] {
+    BoxSlab tmp{std::span<const BoundingBox>(boxes), &arena};
+    return tmp;
+  }();
+  const std::vector<float> center(3, 0.f);
+  EXPECT_EQ(CountSphereHits(center, kInf, moved), 9u);
 }
 
 TEST(BoxSlabTest, DefaultAndEmptySpanAreEmpty) {
@@ -108,10 +163,10 @@ TEST(KernelSphereHitsTest, MatchesSquaredMinDistPerBox) {
       for (const auto& box : boxes) {
         if (SquaredMinDist(center, box) <= r2) ++expected;
       }
-      EXPECT_EQ(CountSphereHits(center, r2, slab, KernelMode::kScalar),
-                expected);
-      EXPECT_EQ(CountSphereHits(center, r2, slab, KernelMode::kBatched),
-                expected);
+      for (const KernelMode mode : AllModes()) {
+        EXPECT_EQ(CountSphereHits(center, r2, slab, mode), expected)
+            << KernelModeName(mode);
+      }
     }
   }
 }
@@ -123,7 +178,7 @@ TEST(KernelSphereHitsTest, EmptyBoxesOnlyCountAtInfiniteRadius) {
   boxes.push_back(BoundingBox({3.f, 3.f}, {4.f, 4.f}));
   const BoxSlab slab{std::span<const BoundingBox>(boxes)};
   const std::vector<float> center = {0.5f, 0.5f};
-  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kBatched}) {
+  for (const KernelMode mode : AllModes()) {
     EXPECT_EQ(CountSphereHits(center, 1e12, slab, mode), 2u);
     // +inf radius reaches the empty box too, exactly like the scalar
     // SquaredMinDist(+inf) <= +inf comparison.
@@ -141,13 +196,16 @@ TEST(KernelSphereHitsTest, AppendAgreesWithCountAndIsAscending) {
   for (int trial = 0; trial < 15; ++trial) {
     const auto center = RandomPoint(&rng, dim);
     const double r = rng.NextUniform(0.0, 2.0);
-    std::vector<uint32_t> scalar_hits, batched_hits;
+    std::vector<uint32_t> scalar_hits;
     AppendSphereHits(center, r * r, slab, &scalar_hits, KernelMode::kScalar);
-    AppendSphereHits(center, r * r, slab, &batched_hits, KernelMode::kBatched);
-    EXPECT_EQ(batched_hits, scalar_hits);
     EXPECT_TRUE(std::is_sorted(scalar_hits.begin(), scalar_hits.end()));
-    EXPECT_EQ(scalar_hits.size(),
-              CountSphereHits(center, r * r, slab, KernelMode::kBatched));
+    for (const KernelMode mode : BatchedModes()) {
+      std::vector<uint32_t> batched_hits;
+      AppendSphereHits(center, r * r, slab, &batched_hits, mode);
+      EXPECT_EQ(batched_hits, scalar_hits) << KernelModeName(mode);
+      EXPECT_EQ(scalar_hits.size(), CountSphereHits(center, r * r, slab, mode))
+          << KernelModeName(mode);
+    }
   }
 }
 
@@ -164,12 +222,15 @@ TEST(KernelBoxHitsTest, MatchesIntersectsPerBox) {
       for (const auto& box : boxes) {
         if (query.Intersects(box)) ++expected;
       }
-      EXPECT_EQ(CountBoxHits(query, slab, KernelMode::kScalar), expected);
-      EXPECT_EQ(CountBoxHits(query, slab, KernelMode::kBatched), expected);
+      for (const KernelMode mode : AllModes()) {
+        EXPECT_EQ(CountBoxHits(query, slab, mode), expected)
+            << KernelModeName(mode);
+      }
     }
-    // An empty query box intersects nothing in either mode.
-    EXPECT_EQ(CountBoxHits(BoundingBox(dim), slab, KernelMode::kScalar), 0u);
-    EXPECT_EQ(CountBoxHits(BoundingBox(dim), slab, KernelMode::kBatched), 0u);
+    // An empty query box intersects nothing in any mode.
+    for (const KernelMode mode : AllModes()) {
+      EXPECT_EQ(CountBoxHits(BoundingBox(dim), slab, mode), 0u);
+    }
   }
 }
 
@@ -190,14 +251,16 @@ TEST(KernelNearestBoxTest, PicksMinimalDistanceLowestIndex) {
           expected = b;
         }
       }
-      EXPECT_EQ(NearestBox(point, slab, KernelMode::kScalar), expected);
-      EXPECT_EQ(NearestBox(point, slab, KernelMode::kBatched), expected);
+      for (const KernelMode mode : AllModes()) {
+        EXPECT_EQ(NearestBox(point, slab, mode), expected)
+            << KernelModeName(mode);
+      }
     }
   }
 }
 
 TEST(KernelNearestBoxTest, ExactTiesBreakTowardsLowestIndex) {
-  // Two identical boxes: the first must win in both modes, at any distance.
+  // Two identical boxes: the first must win in every mode, at any distance.
   std::vector<BoundingBox> boxes;
   boxes.push_back(BoundingBox({1.f}, {2.f}));
   boxes.push_back(BoundingBox({1.f}, {2.f}));
@@ -205,9 +268,9 @@ TEST(KernelNearestBoxTest, ExactTiesBreakTowardsLowestIndex) {
   const BoxSlab slab{std::span<const BoundingBox>(boxes)};
   const std::vector<float> outside = {0.f};
   const std::vector<float> inside = {1.7f};
-  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kBatched}) {
-    EXPECT_EQ(NearestBox(outside, slab, mode), 0u);
-    EXPECT_EQ(NearestBox(inside, slab, mode), 0u);  // containment tie
+  for (const KernelMode mode : AllModes()) {
+    EXPECT_EQ(NearestBox(outside, slab, mode), 0u) << KernelModeName(mode);
+    EXPECT_EQ(NearestBox(inside, slab, mode), 0u) << KernelModeName(mode);
   }
 }
 
@@ -219,9 +282,9 @@ TEST(KernelNearestBoxTest, EmptyBoxesNeverWinUnlessAllEmpty) {
   std::vector<BoundingBox> all_empty(3, BoundingBox(2));
   const BoxSlab empty_slab{std::span<const BoundingBox>(all_empty)};
   const std::vector<float> p = {0.f, 0.f};
-  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kBatched}) {
-    EXPECT_EQ(NearestBox(p, slab, mode), 1u);
-    EXPECT_EQ(NearestBox(p, empty_slab, mode), 0u);
+  for (const KernelMode mode : AllModes()) {
+    EXPECT_EQ(NearestBox(p, slab, mode), 1u) << KernelModeName(mode);
+    EXPECT_EQ(NearestBox(p, empty_slab, mode), 0u) << KernelModeName(mode);
   }
 }
 
@@ -232,11 +295,14 @@ TEST(KernelBatchedL2Test, BitIdenticalToScalarSquaredL2) {
       std::vector<float> rows(n * dim);
       for (auto& v : rows) v = static_cast<float>(rng.NextUniform(-2.0, 2.0));
       const auto query = RandomPoint(&rng, dim);
-      std::vector<double> out(n);
-      BatchedSquaredL2(query, rows.data(), n, dim, out.data());
-      for (size_t i = 0; i < n; ++i) {
-        const std::span<const float> row(rows.data() + i * dim, dim);
-        EXPECT_EQ(out[i], SquaredL2(query, row)) << "row " << i;
+      for (const KernelMode mode : AllModes()) {
+        std::vector<double> out(n);
+        BatchedSquaredL2(query, rows.data(), n, dim, out.data(), mode);
+        for (size_t i = 0; i < n; ++i) {
+          const std::span<const float> row(rows.data() + i * dim, dim);
+          EXPECT_EQ(out[i], SquaredL2(query, row))
+              << KernelModeName(mode) << ", row " << i;
+        }
       }
     }
   }
@@ -273,11 +339,10 @@ TEST(KernelScanTest, KthDistanceMatchesSortReference) {
       const auto query = RandomPoint(&rng, dim, -1.0, 1.0);
       const ScanOptions opts;
       const double expected = ReferenceKth(query, rows, dim, k, opts);
-      EXPECT_EQ(KthDistanceScan(query, rows, dim, k, opts, KernelMode::kScalar),
-                expected);
-      EXPECT_EQ(
-          KthDistanceScan(query, rows, dim, k, opts, KernelMode::kBatched),
-          expected);
+      for (const KernelMode mode : AllModes()) {
+        EXPECT_EQ(KthDistanceScan(query, rows, dim, k, opts, mode), expected)
+            << KernelModeName(mode);
+      }
     }
   }
 }
@@ -291,7 +356,7 @@ TEST(KernelScanTest, ExclusionRules) {
   // Row 1's coordinate is the float 0.1f; the scan accumulates it widened
   // to double, which is not the double literal 0.1.
   const double near_d2 = static_cast<double>(0.1f) * static_cast<double>(0.1f);
-  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kBatched}) {
+  for (const KernelMode mode : AllModes()) {
     // No exclusions: the query's own row is the nearest.
     EXPECT_EQ(KthDistanceScan(query, rows, dim, 1, ScanOptions(), mode), 0.0);
 
@@ -340,15 +405,14 @@ TEST(KernelScanTest, TopKMatchesSortTruncate) {
     }
     std::sort(expected.begin(), expected.end());
     expected.resize(std::min<size_t>(k, expected.size()));
-    const auto scalar = TopKNeighborScan(query, rows, dim, k, ScanOptions(),
-                                         KernelMode::kScalar);
-    const auto batched = TopKNeighborScan(query, rows, dim, k, ScanOptions(),
-                                          KernelMode::kBatched);
-    EXPECT_EQ(scalar, expected);
-    EXPECT_EQ(batched, expected);
+    for (const KernelMode mode : AllModes()) {
+      EXPECT_EQ(TopKNeighborScan(query, rows, dim, k, ScanOptions(), mode),
+                expected)
+          << KernelModeName(mode);
+    }
   }
   EXPECT_TRUE(TopKNeighborScan(std::vector<float>(dim, 0.f), rows, dim, 0,
-                               ScanOptions(), KernelMode::kBatched)
+                               ScanOptions(), KernelMode::kGeneric)
                   .empty());
 }
 
@@ -356,14 +420,122 @@ TEST(KernelModeTest, OverrideWinsAndClears) {
   ModeOverrideGuard guard;
   SetKernelMode(KernelMode::kScalar);
   EXPECT_EQ(ActiveKernelMode(), KernelMode::kScalar);
-  SetKernelMode(KernelMode::kBatched);
-  EXPECT_EQ(ActiveKernelMode(), KernelMode::kBatched);
+  SetKernelMode(KernelMode::kGeneric);
+  EXPECT_EQ(ActiveKernelMode(), KernelMode::kGeneric);
   ClearKernelModeOverride();
   // Without an override the mode comes from HDIDX_KERNEL ("scalar" opts
-  // out) or defaults to batched; either way it must be a valid mode.
-  const KernelMode ambient = ActiveKernelMode();
-  EXPECT_TRUE(ambient == KernelMode::kScalar ||
-              ambient == KernelMode::kBatched);
+  // out) or defaults to the host's best ISA; either way it must be a mode
+  // this host can actually run.
+  EXPECT_TRUE(KernelModeSupported(ActiveKernelMode()));
+}
+
+TEST(KernelModeTest, ScalarAndGenericAlwaysSupported) {
+  EXPECT_TRUE(KernelModeSupported(KernelMode::kScalar));
+  EXPECT_TRUE(KernelModeSupported(KernelMode::kGeneric));
+  // The sweep set is deterministic, starts with the oracle, and only ever
+  // contains supported modes.
+  const std::vector<KernelMode> modes = SupportedKernelModes();
+  ASSERT_GE(modes.size(), 2u);
+  EXPECT_EQ(modes[0], KernelMode::kScalar);
+  EXPECT_EQ(modes[1], KernelMode::kGeneric);
+  for (const KernelMode mode : modes) {
+    EXPECT_TRUE(KernelModeSupported(mode)) << KernelModeName(mode);
+  }
+  // BestKernelMode is supported and never the oracle.
+  EXPECT_TRUE(KernelModeSupported(BestKernelMode()));
+  EXPECT_NE(BestKernelMode(), KernelMode::kScalar);
+}
+
+TEST(KernelModeTest, UnsupportedIsaDowngradesGracefully) {
+  ModeOverrideGuard guard;
+  for (const KernelMode mode :
+       {KernelMode::kScalar, KernelMode::kGeneric, KernelMode::kAvx2,
+        KernelMode::kAvx512, KernelMode::kNeon}) {
+    const KernelMode resolved = ResolveKernelMode(mode);
+    EXPECT_TRUE(KernelModeSupported(resolved)) << KernelModeName(mode);
+    if (KernelModeSupported(mode)) {
+      EXPECT_EQ(resolved, mode);
+    } else {
+      // The downgrade chain ends at the always-available generic lanes.
+      EXPECT_TRUE(resolved == KernelMode::kGeneric ||
+                  (mode == KernelMode::kAvx512 &&
+                   resolved == KernelMode::kAvx2))
+          << KernelModeName(mode) << " -> " << KernelModeName(resolved);
+    }
+    // Requesting any mode through the override — supported or not — always
+    // dispatches a runnable one (never UB).
+    SetKernelMode(mode);
+    EXPECT_EQ(ActiveKernelMode(), resolved) << KernelModeName(mode);
+  }
+}
+
+TEST(KernelModeTest, ExplicitModeEntryPointsResolveUnsupportedIsas) {
+  // Even with an explicit (possibly unsupported) mode argument, kernels run
+  // the downgraded lane and return oracle-identical results.
+  std::vector<BoundingBox> boxes;
+  boxes.push_back(BoundingBox({0.f, 0.f}, {1.f, 1.f}));
+  boxes.push_back(BoundingBox({3.f, 3.f}, {4.f, 4.f}));
+  const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+  const std::vector<float> center = {0.5f, 0.5f};
+  for (const KernelMode mode :
+       {KernelMode::kAvx2, KernelMode::kAvx512, KernelMode::kNeon}) {
+    EXPECT_EQ(CountSphereHits(center, 1.0, slab, mode), 1u)
+        << KernelModeName(mode);
+  }
+}
+
+TEST(KernelModeTest, ParseRoundTripsNamesAndFallsBackOnGarbage) {
+  for (const KernelMode mode : SupportedKernelModes()) {
+    KernelMode parsed = KernelMode::kScalar;
+    EXPECT_TRUE(ParseKernelMode(KernelModeName(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  KernelMode parsed = KernelMode::kScalar;
+  // PR 5's mode name stays accepted as an alias for the generic lanes.
+  EXPECT_TRUE(ParseKernelMode("batched", &parsed));
+  EXPECT_EQ(parsed, KernelMode::kGeneric);
+  // Unknown values fall back deterministically to the host's best mode.
+  for (const auto* garbage : {"", "AVX2", "turbo9000", "scalar ", "sse4"}) {
+    parsed = KernelMode::kScalar;
+    EXPECT_FALSE(ParseKernelMode(garbage, &parsed)) << garbage;
+    EXPECT_EQ(parsed, BestKernelMode()) << garbage;
+  }
+}
+
+TEST(KernelModeDeathTest, GarbageEnvValueWarnsOnceAndFallsBack) {
+  // The HDIDX_KERNEL parse is latched in a function-local static, so the
+  // garbage-value path needs a fresh process: threadsafe death tests re-exec
+  // the binary and run only this test body in the child.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        ClearKernelModeOverride();
+        setenv("HDIDX_KERNEL", "turbo9000", 1);
+        const KernelMode mode = ActiveKernelMode();
+        if (mode != BestKernelMode()) _Exit(2);
+        if (!KernelModeSupported(mode)) _Exit(3);
+        _Exit(0);
+      },
+      ::testing::ExitedWithCode(0), "unknown HDIDX_KERNEL value \"turbo9000\"");
+}
+
+TEST(KernelModeDeathTest, UnsupportedEnvIsaDowngradesInsteadOfDying) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // NEON can never be the host ISA in the same build as AVX2 and vice
+  // versa, so one of the two always exercises the downgrade path; on a
+  // plain x86-64 host without AVX-512 the avx512 request downgrades too.
+  EXPECT_EXIT(
+      {
+        ClearKernelModeOverride();
+        setenv("HDIDX_KERNEL", KernelModeSupported(KernelMode::kNeon)
+                                   ? "avx2"
+                                   : "neon",
+               1);
+        const KernelMode mode = ActiveKernelMode();
+        if (!KernelModeSupported(mode)) _Exit(2);
+        _Exit(0);
+      },
+      ::testing::ExitedWithCode(0), "");
 }
 
 TEST(KernelDeathTest, KthDistanceScanRejectsZeroK) {

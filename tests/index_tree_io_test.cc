@@ -1,5 +1,6 @@
 #include "index/tree_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -37,7 +38,11 @@ TEST(TreeIoTest, RoundTripPreservesEverything) {
   for (uint32_t id = 0; id < original.num_nodes(); ++id) {
     EXPECT_TRUE(loaded->node(id).box == original.node(id).box) << id;
     EXPECT_EQ(loaded->node(id).level, original.node(id).level);
-    EXPECT_EQ(loaded->node(id).children, original.node(id).children);
+    ASSERT_EQ(loaded->node(id).children.size(),
+              original.node(id).children.size());
+    EXPECT_TRUE(std::equal(loaded->node(id).children.begin(),
+                           loaded->node(id).children.end(),
+                           original.node(id).children.begin()));
     EXPECT_EQ(loaded->node(id).start, original.node(id).start);
     EXPECT_EQ(loaded->node(id).count, original.node(id).count);
   }

@@ -223,20 +223,25 @@ TEST(ParallelDeterminismKernelTest, ScalarAndBatchedBitIdentical) {
     return run;
   };
 
+  // Every kernel mode the host can run (scalar oracle first, then the
+  // generic lanes and each reachable SIMD ISA) crossed with thread counts:
+  // all runs, including the TreeLayoutDigest, must be bit-identical.
   std::vector<Run> runs;
-  for (const gk::KernelMode mode :
-       {gk::KernelMode::kScalar, gk::KernelMode::kBatched}) {
+  std::vector<std::string> labels;
+  for (const gk::KernelMode mode : gk::SupportedKernelModes()) {
     gk::SetKernelMode(mode);
     for (const size_t threads : {1u, 2u, 8u}) {
       common::ThreadPool pool(threads);
       const common::ExecutionContext ctx(&pool);
       runs.push_back(run_once(ctx));
+      labels.push_back(std::string(gk::KernelModeName(mode)) + "/" +
+                       std::to_string(threads) + "-thread");
     }
   }
   gk::ClearKernelModeOverride();
 
   for (size_t r = 1; r < runs.size(); ++r) {
-    SCOPED_TRACE("run " + std::to_string(r) + " vs scalar/1-thread");
+    SCOPED_TRACE(labels[r] + " vs scalar/1-thread");
     EXPECT_EQ(runs[r].radii, runs[0].radii);
     EXPECT_EQ(runs[r].mini_accesses, runs[0].mini_accesses);
     EXPECT_EQ(runs[r].resampled_accesses, runs[0].resampled_accesses);

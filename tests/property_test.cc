@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -227,8 +228,9 @@ INSTANTIATE_TEST_SUITE_P(
                       TopoParams{42, 1, 2}, TopoParams{65536, 16, 16}));
 
 // ---------------------------------------------------------------------------
-// Kernel equivalence: the batched geometry kernels must be bit-identical to
-// the retained scalar reference across every (dimension, slab size)
+// Kernel equivalence: every batched geometry kernel lane the host can run
+// (generic and each reachable SIMD ISA) must be bit-identical to the
+// retained scalar reference across every (dimension, slab size)
 // combination, including slab sizes straddling the kBlock stride boundary,
 // empty boxes mixed into the slab, and degenerate all-identical datasets.
 // EXPECT_EQ throughout — on doubles, not EXPECT_NEAR.
@@ -273,28 +275,25 @@ TEST_P(KernelEquivalenceProperty, SphereAndBoxCountsBitIdentical) {
     for (const auto& box : boxes) {
       if (geometry::SquaredMinDist(center, box) <= r2) ++brute;
     }
-    EXPECT_EQ(gk::CountSphereHits(center, r2, slab, gk::KernelMode::kScalar),
-              brute);
-    EXPECT_EQ(gk::CountSphereHits(center, r2, slab, gk::KernelMode::kBatched),
-              brute);
-    std::vector<uint32_t> scalar_hits, batched_hits;
+    std::vector<uint32_t> scalar_hits;
     gk::AppendSphereHits(center, r2, slab, &scalar_hits,
                          gk::KernelMode::kScalar);
-    gk::AppendSphereHits(center, r2, slab, &batched_hits,
-                         gk::KernelMode::kBatched);
-    EXPECT_EQ(batched_hits, scalar_hits);
-
     const auto query_box = boxes[rng.NextBounded(boxes.size())];
     size_t box_brute = 0;
     for (const auto& box : boxes) {
       if (query_box.Intersects(box)) ++box_brute;
     }
-    EXPECT_EQ(gk::CountBoxHits(query_box, slab, gk::KernelMode::kScalar),
-              box_brute);
-    EXPECT_EQ(gk::CountBoxHits(query_box, slab, gk::KernelMode::kBatched),
-              box_brute);
-    EXPECT_EQ(gk::NearestBox(center, slab, gk::KernelMode::kBatched),
-              gk::NearestBox(center, slab, gk::KernelMode::kScalar));
+    const size_t scalar_nearest =
+        gk::NearestBox(center, slab, gk::KernelMode::kScalar);
+    for (const gk::KernelMode mode : gk::SupportedKernelModes()) {
+      SCOPED_TRACE(std::string(gk::KernelModeName(mode)));
+      EXPECT_EQ(gk::CountSphereHits(center, r2, slab, mode), brute);
+      std::vector<uint32_t> mode_hits;
+      gk::AppendSphereHits(center, r2, slab, &mode_hits, mode);
+      EXPECT_EQ(mode_hits, scalar_hits);
+      EXPECT_EQ(gk::CountBoxHits(query_box, slab, mode), box_brute);
+      EXPECT_EQ(gk::NearestBox(center, slab, mode), scalar_nearest);
+    }
   }
 }
 
@@ -320,14 +319,17 @@ TEST_P(KernelEquivalenceProperty, ScanKernelsBitIdentical) {
         opts.exclude_within_sq = 0.0;
         break;
     }
-    EXPECT_EQ(
-        gk::KthDistanceScan(query, rows, dim, k, opts, gk::KernelMode::kBatched),
-        gk::KthDistanceScan(query, rows, dim, k, opts, gk::KernelMode::kScalar));
-    EXPECT_EQ(
-        gk::TopKNeighborScan(query, rows, dim, k, opts,
-                             gk::KernelMode::kBatched),
-        gk::TopKNeighborScan(query, rows, dim, k, opts,
-                             gk::KernelMode::kScalar));
+    const double scalar_kth =
+        gk::KthDistanceScan(query, rows, dim, k, opts, gk::KernelMode::kScalar);
+    const auto scalar_topk = gk::TopKNeighborScan(query, rows, dim, k, opts,
+                                                  gk::KernelMode::kScalar);
+    for (const gk::KernelMode mode : gk::SupportedKernelModes()) {
+      SCOPED_TRACE(std::string(gk::KernelModeName(mode)));
+      EXPECT_EQ(gk::KthDistanceScan(query, rows, dim, k, opts, mode),
+                scalar_kth);
+      EXPECT_EQ(gk::TopKNeighborScan(query, rows, dim, k, opts, mode),
+                scalar_topk);
+    }
   }
 
   // All-identical points: every distance ties, the heap keeps the first k
@@ -336,10 +338,12 @@ TEST_P(KernelEquivalenceProperty, ScanKernelsBitIdentical) {
   std::vector<float> query(dim, -0.75f);
   const auto scalar = gk::TopKNeighborScan(query, same, dim, k, gk::ScanOptions(),
                                            gk::KernelMode::kScalar);
-  const auto batched = gk::TopKNeighborScan(query, same, dim, k,
-                                            gk::ScanOptions(),
-                                            gk::KernelMode::kBatched);
-  EXPECT_EQ(batched, scalar);
+  for (const gk::KernelMode mode : gk::SupportedKernelModes()) {
+    SCOPED_TRACE(std::string(gk::KernelModeName(mode)));
+    EXPECT_EQ(gk::TopKNeighborScan(query, same, dim, k, gk::ScanOptions(),
+                                   mode),
+              scalar);
+  }
   for (size_t i = 0; i < scalar.size(); ++i) {
     EXPECT_EQ(scalar[i].second, i);  // ties retain the lowest rows, in order
   }

@@ -206,19 +206,24 @@ TEST(PredictionServiceKernelTest, ResponsesInvariantAcrossKernelModes) {
   auto scalar_svc = MakeService(2);
   const auto scalar = scalar_svc->ProcessBatch(requests);
 
-  gk::SetKernelMode(gk::KernelMode::kBatched);
-  auto batched_svc = MakeService(2);
-  const auto batched = batched_svc->ProcessBatch(requests);
-  gk::ClearKernelModeOverride();
-
-  ASSERT_EQ(batched.size(), scalar.size());
-  for (size_t i = 0; i < scalar.size(); ++i) {
-    ASSERT_TRUE(scalar[i].ok) << scalar[i].error;
-    ASSERT_TRUE(batched[i].ok) << batched[i].error;
-    EXPECT_EQ(SerializeResult(batched[i], /*per_query=*/true),
-              SerializeResult(scalar[i], /*per_query=*/true))
-        << "request id " << scalar[i].id;
+  // Every batched lane the host can run, not just the generic one: the
+  // serialized responses must match the scalar service byte for byte.
+  for (const gk::KernelMode mode : gk::SupportedKernelModes()) {
+    if (mode == gk::KernelMode::kScalar) continue;
+    gk::SetKernelMode(mode);
+    auto batched_svc = MakeService(2);
+    const auto batched = batched_svc->ProcessBatch(requests);
+    ASSERT_EQ(batched.size(), scalar.size());
+    for (size_t i = 0; i < scalar.size(); ++i) {
+      ASSERT_TRUE(scalar[i].ok) << scalar[i].error;
+      ASSERT_TRUE(batched[i].ok) << batched[i].error;
+      EXPECT_EQ(SerializeResult(batched[i], /*per_query=*/true),
+                SerializeResult(scalar[i], /*per_query=*/true))
+          << "request id " << scalar[i].id << ", mode "
+          << gk::KernelModeName(mode);
+    }
   }
+  gk::ClearKernelModeOverride();
 }
 
 TEST(PredictionServiceTest, ErrorsAreDeterministicResponses) {

@@ -68,7 +68,11 @@ void ExpectTreesIdentical(const index::RTree& expected,
     EXPECT_EQ(e.level, a.level) << what << ", node " << id;
     EXPECT_EQ(e.start, a.start) << what << ", node " << id;
     EXPECT_EQ(e.count, a.count) << what << ", node " << id;
-    EXPECT_EQ(e.children, a.children) << what << ", node " << id;
+    // children is a span into each tree's arena; compare element-wise.
+    ASSERT_EQ(e.children.size(), a.children.size()) << what << ", node " << id;
+    EXPECT_TRUE(std::equal(e.children.begin(), e.children.end(),
+                           a.children.begin()))
+        << what << ", node " << id;
     EXPECT_EQ(e.pages, a.pages) << what << ", node " << id;
     // Exact float equality: "bit-identical" means the very same MBRs.
     EXPECT_TRUE(e.box.lo() == a.box.lo() && e.box.hi() == a.box.hi())

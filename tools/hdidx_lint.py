@@ -27,6 +27,18 @@ compiler warning catches but that break the repo's standing contracts:
   rule `guard` — every header must open with `#pragma once` or a
       `#ifndef HDIDX_..._H_` include guard whose token matches its path.
 
+  rule `intrinsics` — raw SIMD intrinsics (immintrin/arm_neon includes,
+      `_mm*` calls, `__m128/256/512` or NEON vector types) outside
+      src/geometry/isa/. Per-ISA code lives only in the self-guarded TUs
+      compiled with per-file target flags; an intrinsic anywhere else either
+      breaks non-x86 builds or silently compiles for the wrong target.
+
+  rule `kernel-switch` — a `switch` dispatching on geometry::kernels::
+      KernelMode must list every enumerator (kScalar, kGeneric, kAvx2,
+      kAvx512, kNeon). A `default:` (or a dropped case) silences -Wswitch,
+      so adding an ISA would fall through an unconsidered path instead of
+      failing the build.
+
 Violations print as `path:line: rule: message` (clickable in CI logs) and
 the process exits 2, so a failure is distinguishable from an internal crash
 (exit 1). The allowlist lives in tools/lint_allowlist.txt as `rule path`
@@ -51,6 +63,21 @@ STDOUT_PATTERNS = [
     (re.compile(r"(?<![\w.:])printf\s*\("), "printf()"),
     (re.compile(r"(?<![\w.:])puts\s*\("), "puts()"),
 ]
+
+INTRINSIC_PATTERNS = [
+    (re.compile(r"#\s*include\s*<(?:immintrin|x86intrin|arm_neon)\.h>"),
+     "SIMD intrinsics header"),
+    (re.compile(r"\b__m(?:128|256|512)[a-z]*\b"), "x86 vector type"),
+    (re.compile(r"\b_mm(?:256|512)?_\w+"), "x86 intrinsic"),
+    (re.compile(r"\b(?:float|poly|uint|int)(?:8|16|32|64)x(?:2|4|8|16)_t\b"),
+     "NEON vector type"),
+]
+# The only directory allowed to contain raw intrinsics (self-guarded TUs
+# with per-file target flags).
+ISA_DIR = pathlib.PurePosixPath("src/geometry/isa")
+
+KERNEL_ENUMERATORS = ("kScalar", "kGeneric", "kAvx2", "kAvx512", "kNeon")
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
 
 GUARD_RE = re.compile(r"#ifndef\s+(HDIDX_[A-Z0-9_]+_H_)")
 ALLOW_GLOBAL_MARKER = "hdidx-lint: allow-global"
@@ -171,6 +198,8 @@ class Linter:
         if path.suffix == ".h":
             self.check_guard(rel, raw, clean_lines)
         self.check_globals(rel, raw_lines, clean_lines)
+        self.check_intrinsics(rel, clean_lines)
+        self.check_kernel_switches(rel, clean)
 
     def check_patterns(self, rel, clean_lines):
         skip_nondet = self.allowed("nondeterminism", rel)
@@ -189,6 +218,60 @@ class Linter:
                         self.report(rel, idx, "stdout",
                                     f"{label} is banned in library code; "
                                     "return data, let tools print")
+
+    def check_intrinsics(self, rel, clean_lines):
+        posix_rel = pathlib.PurePosixPath(rel.as_posix())
+        if posix_rel.is_relative_to(ISA_DIR):
+            return
+        if self.allowed("intrinsics", rel):
+            return
+        for idx, line in enumerate(clean_lines, start=1):
+            for pattern, label in INTRINSIC_PATTERNS:
+                if pattern.search(line):
+                    self.report(rel, idx, "intrinsics",
+                                f"{label} outside src/geometry/isa/; per-ISA "
+                                "code belongs in the self-guarded kernel TUs")
+
+    def check_kernel_switches(self, rel, clean):
+        if self.allowed("kernel-switch", rel):
+            return
+        for match in SWITCH_RE.finditer(clean):
+            # Walk to the matching ')' of the condition, then the body '{'.
+            i = clean.index("(", match.start())
+            depth = 0
+            while i < len(clean):
+                if clean[i] == "(":
+                    depth += 1
+                elif clean[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            body_start = clean.find("{", i)
+            if body_start < 0:
+                continue
+            depth = 0
+            end = body_start
+            while end < len(clean):
+                if clean[end] == "{":
+                    depth += 1
+                elif clean[end] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                end += 1
+            body = clean[body_start:end + 1]
+            if not re.search(r"\bcase\s+[\w:]*KernelMode::", body):
+                continue
+            missing = [e for e in KERNEL_ENUMERATORS
+                       if not re.search(r"\bcase\s+[\w:]*\b" + e + r"\b",
+                                        body)]
+            if missing:
+                line_no = clean.count("\n", 0, match.start()) + 1
+                self.report(rel, line_no, "kernel-switch",
+                            "switch over KernelMode must list every "
+                            f"enumerator (missing: {', '.join(missing)}); "
+                            "rely on -Wswitch, not default:")
 
     def check_guard(self, rel, raw, clean_lines):
         if self.allowed("guard", rel):
