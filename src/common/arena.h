@@ -7,6 +7,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace hdidx::common {
 
 /// A 64-byte-aligned bump-pointer allocator for the hot data structures the
@@ -51,12 +53,12 @@ class Arena {
 
   /// Returns `bytes` of uninitialized, kAlignment-aligned memory (a valid
   /// unique pointer even for bytes == 0). Never returns null.
-  void* Allocate(size_t bytes);
+  HDIDX_BUILD_ONLY void* Allocate(size_t bytes);
 
   /// Typed array allocation (uninitialized; T must be trivial so the arena
   /// never has to run constructors or destructors).
   template <typename T>
-  T* AllocateArray(size_t count) {
+  HDIDX_BUILD_ONLY T* AllocateArray(size_t count) {
     static_assert(std::is_trivially_copyable_v<T> &&
                       std::is_trivially_destructible_v<T>,
                   "Arena stores raw trivial data only");

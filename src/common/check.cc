@@ -15,6 +15,10 @@ void DefaultCheckFailureHandler(const std::string& message) {
 
 // The one mutable global of the check library (hdidx-lint: allow-global).
 // Atomic so tests can swap handlers while worker threads run checks.
+// Happens-before: SetCheckFailureHandler publishes with a releasing
+// exchange and CheckFail reads with an acquiring load, so everything the
+// installing thread wrote before the swap (the handler's own state) is
+// visible to any thread whose failing check invokes it.
 std::atomic<CheckFailureHandler> g_check_failure_handler{
     &DefaultCheckFailureHandler};
 
@@ -22,13 +26,13 @@ std::atomic<CheckFailureHandler> g_check_failure_handler{
 
 CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
   if (handler == nullptr) handler = &DefaultCheckFailureHandler;
-  return g_check_failure_handler.exchange(handler);
+  return g_check_failure_handler.exchange(handler, std::memory_order_acq_rel);
 }
 
 namespace internal {
 
 void CheckFail(const std::string& message) {
-  g_check_failure_handler.load()(message);
+  g_check_failure_handler.load(std::memory_order_acquire)(message);
   // A conforming handler never returns; guarantee the [[noreturn]] contract
   // even against one that does.
   std::abort();

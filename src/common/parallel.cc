@@ -58,10 +58,10 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -69,14 +69,15 @@ void ThreadPool::WorkerLoop() {
   uint32_t seen_epoch = 0;
   for (;;) {
     size_t num_chunks;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || job_epoch_ != seen_epoch; });
-      if (shutdown_) return;
-      seen_epoch = job_epoch_;
-      num_chunks = num_chunks_;
+    mu_.Lock();
+    while (!shutdown_ && job_epoch_ == seen_epoch) work_cv_.Wait(mu_);
+    if (shutdown_) {
+      mu_.Unlock();
+      return;
     }
+    seen_epoch = job_epoch_;
+    num_chunks = num_chunks_;
+    mu_.Unlock();
     RunChunks(seen_epoch, num_chunks);
   }
 }
@@ -103,14 +104,14 @@ void ThreadPool::RunChunks(uint32_t epoch, size_t num_chunks) {
     try {
       (*job_fn_)(chunk_begin, chunk_end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     if (chunks_done_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         num_chunks) {
       // Last chunk: wake the thread blocked in ParallelFor.
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
+      MutexLock lock(&mu_);
+      done_cv_.NotifyAll();
     }
   }
   tls_in_parallel_section = was_in_section;
@@ -127,37 +128,36 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     return;
   }
 
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MutexLock submit_lock(&submit_mu_);
   uint32_t epoch;
+  size_t num_chunks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     epoch = ++job_epoch_;
     job_fn_ = &fn;
     job_begin_ = begin;
     job_end_ = end;
     job_grain_ = grain;
-    num_chunks_ = (end - begin + grain - 1) / grain;
+    num_chunks = num_chunks_ = (end - begin + grain - 1) / grain;
     chunks_done_.store(0, std::memory_order_relaxed);
     first_error_ = nullptr;
     claim_.store(static_cast<uint64_t>(epoch) << 32,
                  std::memory_order_release);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The calling thread works too.
-  RunChunks(epoch, num_chunks_);
+  RunChunks(epoch, num_chunks);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return chunks_done_.load(std::memory_order_acquire) == num_chunks_;
-  });
-  job_fn_ = nullptr;
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
+  mu_.Lock();
+  while (chunks_done_.load(std::memory_order_acquire) != num_chunks) {
+    done_cv_.Wait(mu_);
   }
+  job_fn_ = nullptr;
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  mu_.Unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 void ExecutionContext::ParallelFor(

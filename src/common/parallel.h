@@ -2,16 +2,16 @@
 #define HDIDX_COMMON_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 
 namespace hdidx::common {
 
@@ -71,34 +71,43 @@ class ThreadPool {
   /// `num_chunks` chunks) until the claim counter moves past the job — or to
   /// a newer epoch, whose chunks it then validly serves, having synchronized
   /// with the newer publication through the acquiring claim.
-  void RunChunks(uint32_t epoch, size_t num_chunks);
+  ///
+  /// Reads the mu_-guarded job fields without holding mu_: the releasing
+  /// store of claim_ in ParallelFor publishes them, and the acquiring
+  /// fetch_add here synchronizes with that publication — a happens-before
+  /// edge the lock-based analysis cannot express, hence the opt-out.
+  void RunChunks(uint32_t epoch, size_t num_chunks)
+      HDIDX_NO_THREAD_SAFETY_ANALYSIS;
 
-  size_t num_threads_;
-  std::vector<std::thread> workers_;
+  const size_t num_threads_;
+  /// Spawned in the constructor, joined in the destructor; never touched
+  /// in between — synchronized by construction/join order, not by mu_.
+  HDIDX_UNGUARDED std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait here for a new job
-  std::condition_variable done_cv_;  // ParallelFor waits here for completion
-  bool shutdown_ = false;
-  std::mutex submit_mu_;  // serializes concurrent ParallelFor publishers
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait here for a new job
+  CondVar done_cv_;  // ParallelFor waits here for completion
+  bool shutdown_ HDIDX_GUARDED_BY(mu_) = false;
+  Mutex submit_mu_;  // serializes concurrent ParallelFor publishers
 
   // State of the single in-flight job (ParallelFor blocks, and publishers
-  // are serialized, so there is at most one). A chunk is claimed by a
-  // fetch_add on `claim_`, whose high 32 bits carry the job epoch: a
-  // straggler from the previous job either sees its own epoch with an
-  // exhausted chunk index (and stops), or the new epoch (and, having
+  // are serialized, so there is at most one), written under mu_. A chunk is
+  // claimed by a fetch_add on `claim_`, whose high 32 bits carry the job
+  // epoch: a straggler from the previous job either sees its own epoch with
+  // an exhausted chunk index (and stops), or the new epoch (and, having
   // synchronized with the publication through the acquire claim, validly
-  // executes the chunk it just claimed). No claim is ever lost or run with
-  // stale job state.
-  uint32_t job_epoch_ = 0;
-  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
-  size_t job_begin_ = 0;
-  size_t job_end_ = 0;
-  size_t job_grain_ = 1;
-  size_t num_chunks_ = 0;
+  // executes the chunk it just claimed — see RunChunks). No claim is ever
+  // lost or run with stale job state.
+  uint32_t job_epoch_ HDIDX_GUARDED_BY(mu_) = 0;
+  const std::function<void(size_t, size_t)>* job_fn_ HDIDX_GUARDED_BY(mu_) =
+      nullptr;
+  size_t job_begin_ HDIDX_GUARDED_BY(mu_) = 0;
+  size_t job_end_ HDIDX_GUARDED_BY(mu_) = 0;
+  size_t job_grain_ HDIDX_GUARDED_BY(mu_) = 1;
+  size_t num_chunks_ HDIDX_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> claim_{0};  // (epoch << 32) | next chunk index
   std::atomic<size_t> chunks_done_{0};
-  std::exception_ptr first_error_;
+  std::exception_ptr first_error_ HDIDX_GUARDED_BY(mu_);
 };
 
 /// Suggested grain so a balanced loop yields a few chunks per thread (enough

@@ -23,8 +23,18 @@ static_assert(BoxSlab::kPlaneStride % kBlock == 0,
               "plane padding must cover whole kernel blocks");
 
 // Test/bench override for the kernel mode; -1 = no override, the
-// HDIDX_KERNEL environment default applies.  (hdidx-lint: allow-global)
-std::atomic<int> g_mode_override{-1};
+// HDIDX_KERNEL environment default applies.
+//
+// Happens-before: SetKernelMode / ClearKernelModeOverride store with
+// release semantics and ActiveKernelMode loads with acquire, so a thread
+// that observes an override also observes everything the overriding
+// thread did first (e.g. a test arranging slab state before forcing a
+// mode). The once-only stderr warning for garbage HDIDX_KERNEL values
+// lives in a function-local static below, whose initialization the
+// language runs exactly once under its own guard — both pieces of mutable
+// kernel-mode state are race-free by construction, not merely unobserved
+// by TSan.
+std::atomic<int> g_mode_override{-1};  // (hdidx-lint: allow-global)
 
 /// Whether the running CPU has the ISA `mode` needs. Compile-target
 /// availability (was the isa/ TU built for this arch?) is a separate check;
@@ -317,7 +327,7 @@ bool ParseKernelMode(std::string_view name, KernelMode* mode) {
 }
 
 KernelMode ActiveKernelMode() {
-  const int forced = g_mode_override.load(std::memory_order_relaxed);
+  const int forced = g_mode_override.load(std::memory_order_acquire);
   if (forced >= 0) return ResolveKernelMode(static_cast<KernelMode>(forced));
   static const KernelMode from_env = [] {
     const char* env = std::getenv("HDIDX_KERNEL");
@@ -336,11 +346,11 @@ KernelMode ActiveKernelMode() {
 }
 
 void SetKernelMode(KernelMode mode) {
-  g_mode_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+  g_mode_override.store(static_cast<int>(mode), std::memory_order_release);
 }
 
 void ClearKernelModeOverride() {
-  g_mode_override.store(-1, std::memory_order_relaxed);
+  g_mode_override.store(-1, std::memory_order_release);
 }
 
 void BoxSlab::Fill(size_t count, size_t dim,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/thread_annotations.h"
 #include "geometry/bounding_box.h"
 
 namespace hdidx::geometry::kernels {
@@ -126,13 +127,13 @@ class BoxSlab {
 
   /// Builds the slab over `boxes` (all of equal dimensionality) into
   /// `arena`, or into an internally owned arena when null.
-  explicit BoxSlab(std::span<const BoundingBox> boxes,
-                   common::Arena* arena = nullptr);
+  HDIDX_BUILD_ONLY explicit BoxSlab(std::span<const BoundingBox> boxes,
+                                    common::Arena* arena = nullptr);
 
   /// Builds the slab over boxes reached through pointers (used by tree
   /// nodes, whose child boxes are not contiguous in memory).
-  explicit BoxSlab(std::span<const BoundingBox* const> boxes,
-                   common::Arena* arena = nullptr);
+  HDIDX_BUILD_ONLY explicit BoxSlab(std::span<const BoundingBox* const> boxes,
+                                    common::Arena* arena = nullptr);
 
   /// Number of real boxes.
   size_t size() const { return size_; }
@@ -147,9 +148,9 @@ class BoxSlab {
   const float* hi_plane(size_t d) const { return hi_ + d * padded_; }
 
  private:
-  void Fill(size_t count, size_t dim,
-            const BoundingBox& (*get)(const void*, size_t), const void* ctx,
-            common::Arena* arena);
+  HDIDX_BUILD_ONLY void Fill(size_t count, size_t dim,
+                             const BoundingBox& (*get)(const void*, size_t),
+                             const void* ctx, common::Arena* arena);
 
   size_t size_ = 0;
   size_t dim_ = 0;
@@ -165,42 +166,51 @@ class BoxSlab {
 /// (empty boxes count only when r2 is +inf, matching their infinite
 /// SquaredMinDist). The batched paths abandon a block once every lane's
 /// partial sum exceeds r2.
-size_t CountSphereHits(std::span<const float> center, double r2,
-                       const BoxSlab& slab);
-size_t CountSphereHits(std::span<const float> center, double r2,
-                       const BoxSlab& slab, KernelMode mode);
+HDIDX_CONCURRENT_READ size_t CountSphereHits(std::span<const float> center,
+                                             double r2, const BoxSlab& slab);
+HDIDX_CONCURRENT_READ size_t CountSphereHits(std::span<const float> center,
+                                             double r2, const BoxSlab& slab,
+                                             KernelMode mode);
 
 /// Appends (in ascending order) the indices of slab boxes whose
 /// SquaredMinDist to `center` is <= r2. The mask variant of CountSphereHits,
 /// used by tree traversals that must recurse into the hit children.
-void AppendSphereHits(std::span<const float> center, double r2,
-                      const BoxSlab& slab, std::vector<uint32_t>* hits);
-void AppendSphereHits(std::span<const float> center, double r2,
-                      const BoxSlab& slab, std::vector<uint32_t>* hits,
-                      KernelMode mode);
+HDIDX_CONCURRENT_READ void AppendSphereHits(std::span<const float> center,
+                                            double r2, const BoxSlab& slab,
+                                            std::vector<uint32_t>* hits);
+HDIDX_CONCURRENT_READ void AppendSphereHits(std::span<const float> center,
+                                            double r2, const BoxSlab& slab,
+                                            std::vector<uint32_t>* hits,
+                                            KernelMode mode);
 
 /// Number of slab boxes intersecting `query` (BoundingBox::Intersects
 /// semantics: empty boxes intersect nothing).
-size_t CountBoxHits(const BoundingBox& query, const BoxSlab& slab);
-size_t CountBoxHits(const BoundingBox& query, const BoxSlab& slab,
-                    KernelMode mode);
+HDIDX_CONCURRENT_READ size_t CountBoxHits(const BoundingBox& query,
+                                          const BoxSlab& slab);
+HDIDX_CONCURRENT_READ size_t CountBoxHits(const BoundingBox& query,
+                                          const BoxSlab& slab,
+                                          KernelMode mode);
 
 /// Index of the first slab box attaining the minimal SquaredMinDist to
 /// `point` (ties broken towards the lowest index; containment — distance
 /// exactly 0 — short-circuits). Empty boxes are infinitely far and are
 /// never chosen unless every box is empty (then index 0). Requires
 /// slab.size() > 0.
-size_t NearestBox(std::span<const float> point, const BoxSlab& slab);
-size_t NearestBox(std::span<const float> point, const BoxSlab& slab,
-                  KernelMode mode);
+HDIDX_CONCURRENT_READ size_t NearestBox(std::span<const float> point,
+                                        const BoxSlab& slab);
+HDIDX_CONCURRENT_READ size_t NearestBox(std::span<const float> point,
+                                        const BoxSlab& slab, KernelMode mode);
 
 /// out[i] = SquaredL2(query, rows[i]) for `count` row-major rows, each
 /// accumulated in the scalar dimension order (bit-identical to per-row
 /// SquaredL2).
-void BatchedSquaredL2(std::span<const float> query, const float* rows,
-                      size_t count, size_t dim, double* out);
-void BatchedSquaredL2(std::span<const float> query, const float* rows,
-                      size_t count, size_t dim, double* out, KernelMode mode);
+HDIDX_CONCURRENT_READ void BatchedSquaredL2(std::span<const float> query,
+                                            const float* rows, size_t count,
+                                            size_t dim, double* out);
+HDIDX_CONCURRENT_READ void BatchedSquaredL2(std::span<const float> query,
+                                            const float* rows, size_t count,
+                                            size_t dim, double* out,
+                                            KernelMode mode);
 
 /// Row-exclusion rules shared by the k-NN scan kernels; mirrors the three
 /// scalar loops the kernels replace.
@@ -220,20 +230,23 @@ struct ScanOptions {
 /// Heap semantics and accumulation order match the scalar KnnHeap loop
 /// exactly; the batched paths abandon a row once its partial sum exceeds
 /// the current k-th threshold (a no-op push either way).
-double KthDistanceScan(std::span<const float> query,
-                       std::span<const float> rows, size_t dim, size_t k,
-                       const ScanOptions& opts);
-double KthDistanceScan(std::span<const float> query,
-                       std::span<const float> rows, size_t dim, size_t k,
-                       const ScanOptions& opts, KernelMode mode);
+HDIDX_CONCURRENT_READ double KthDistanceScan(std::span<const float> query,
+                                             std::span<const float> rows,
+                                             size_t dim, size_t k,
+                                             const ScanOptions& opts);
+HDIDX_CONCURRENT_READ double KthDistanceScan(std::span<const float> query,
+                                             std::span<const float> rows,
+                                             size_t dim, size_t k,
+                                             const ScanOptions& opts,
+                                             KernelMode mode);
 
 /// The k nearest rows as (squared distance, row) pairs in ascending order
 /// (ties towards the lower row index — identical to partial_sort over all
 /// pairs). Fewer than k pairs when fewer rows qualify.
-std::vector<std::pair<double, size_t>> TopKNeighborScan(
+HDIDX_CONCURRENT_READ std::vector<std::pair<double, size_t>> TopKNeighborScan(
     std::span<const float> query, std::span<const float> rows, size_t dim,
     size_t k, const ScanOptions& opts);
-std::vector<std::pair<double, size_t>> TopKNeighborScan(
+HDIDX_CONCURRENT_READ std::vector<std::pair<double, size_t>> TopKNeighborScan(
     std::span<const float> query, std::span<const float> rows, size_t dim,
     size_t k, const ScanOptions& opts, KernelMode mode);
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/thread_annotations.h"
 #include "data/dataset.h"
 #include "geometry/bounding_box.h"
 #include "index/rtree.h"
@@ -69,25 +70,27 @@ class PointSource {
   virtual size_t size() const = 0;
 
   /// Dimension with the largest variance over points [lo, hi).
-  virtual size_t MaxVarianceDim(size_t lo, size_t hi) = 0;
+  HDIDX_BUILD_ONLY virtual size_t MaxVarianceDim(size_t lo, size_t hi) = 0;
 
   /// Dimension chosen by `strategy` for a split at binary depth `depth`
   /// within its node. The default implements kMaxExtent via ComputeBox and
   /// kRoundRobin via the depth; sources may override with cheaper paths.
-  virtual size_t ChooseSplitDim(size_t lo, size_t hi, SplitStrategy strategy,
-                                size_t depth);
+  HDIDX_BUILD_ONLY virtual size_t ChooseSplitDim(size_t lo, size_t hi,
+                                                 SplitStrategy strategy,
+                                                 size_t depth);
 
   /// Rearranges [lo, hi) so that every point in [lo, pos) is <= every point
   /// in [pos, hi) along `split_dim` (nth_element semantics).
   /// Requires lo < pos < hi.
-  virtual void Partition(size_t lo, size_t hi, size_t pos,
-                         size_t split_dim) = 0;
+  HDIDX_BUILD_ONLY virtual void Partition(size_t lo, size_t hi, size_t pos,
+                                          size_t split_dim) = 0;
 
   /// MBR of points [lo, hi).
-  virtual geometry::BoundingBox ComputeBox(size_t lo, size_t hi) = 0;
+  HDIDX_BUILD_ONLY virtual geometry::BoundingBox ComputeBox(size_t lo,
+                                                            size_t hi) = 0;
 
   /// Called once when construction finishes; external sources flush buffers.
-  virtual void Finish() {}
+  HDIDX_BUILD_ONLY virtual void Finish() {}
 };
 
 /// PointSource over an in-memory dataset. Construction permutes an index

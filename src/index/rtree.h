@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/thread_annotations.h"
 #include "geometry/bounding_box.h"
 #include "geometry/kernels.h"
 
@@ -83,18 +84,23 @@ class RTree {
   // ---- Construction API (used by the bulk loaders) ----
 
   /// Appends a leaf covering permutation range [start, start+count).
-  uint32_t AddLeaf(geometry::BoundingBox box, uint32_t level, uint32_t start,
-                   uint32_t count);
+  HDIDX_BUILD_ONLY uint32_t AddLeaf(geometry::BoundingBox box, uint32_t level,
+                                    uint32_t start, uint32_t count);
 
   /// Appends a directory node; `children` must be valid ids. The node's box
   /// is the union of the children's boxes.
-  uint32_t AddDirectory(uint32_t level, std::vector<uint32_t> children);
+  HDIDX_BUILD_ONLY uint32_t AddDirectory(uint32_t level,
+                                         std::vector<uint32_t> children);
 
-  void SetRoot(uint32_t id) { root_ = id; }
-  void SetOrder(std::vector<uint32_t> order) { order_ = std::move(order); }
+  HDIDX_BUILD_ONLY void SetRoot(uint32_t id) { root_ = id; }
+  HDIDX_BUILD_ONLY void SetOrder(std::vector<uint32_t> order) {
+    order_ = std::move(order);
+  }
 
   /// Sets the page weight of a node (X-tree supernodes span several).
-  void SetNodePages(uint32_t id, uint32_t pages) { nodes_[id].pages = pages; }
+  HDIDX_BUILD_ONLY void SetNodePages(uint32_t id, uint32_t pages) {
+    nodes_[id].pages = pages;
+  }
 
   // ---- Queries ----
 
@@ -113,11 +119,12 @@ class RTree {
     size_t dir_accesses = 0;
     size_t total() const { return leaf_accesses + dir_accesses; }
   };
-  AccessCount CountSphereAccesses(std::span<const float> center,
-                                  double radius) const;
+  HDIDX_CONCURRENT_READ AccessCount CountSphereAccesses(
+      std::span<const float> center, double radius) const;
 
   /// Number of leaves whose MBR intersects `box` (range-query page count).
-  size_t CountBoxAccesses(const geometry::BoundingBox& box) const;
+  HDIDX_CONCURRENT_READ size_t CountBoxAccesses(
+      const geometry::BoundingBox& box) const;
 
   /// Sum of leaf-box volumes (diagnostic; shrinks under sampling, restored
   /// by compensation).

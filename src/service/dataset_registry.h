@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "data/dataset.h"
 
 namespace hdidx::service {
@@ -33,19 +34,21 @@ class DatasetRegistry {
   /// (default options), anything else through the binary .hdx reader.
   /// Re-registering an existing name is an error (datasets are immutable).
   /// Returns false and fills `*error` on failure.
-  bool LoadFile(const std::string& name, const std::string& path,
-                std::string* error);
+  HDIDX_BUILD_ONLY bool LoadFile(const std::string& name,
+                                 const std::string& path, std::string* error);
 
   /// Registers an in-memory dataset (tests, benchmarks). Same uniqueness
   /// rule as LoadFile.
-  bool Add(const std::string& name, data::Dataset dataset, std::string* error);
+  HDIDX_BUILD_ONLY bool Add(const std::string& name, data::Dataset dataset,
+                            std::string* error);
 
   /// The dataset registered under `name`, or nullptr.
-  const data::Dataset* Find(const std::string& name) const;
+  HDIDX_CONCURRENT_READ const data::Dataset* Find(
+      const std::string& name) const;
 
   /// Shard owning `name`: stable FNV-1a hash of the name mod num_shards.
   /// Defined for any name, registered or not.
-  size_t ShardOf(const std::string& name) const;
+  HDIDX_CONCURRENT_READ size_t ShardOf(const std::string& name) const;
 
   size_t num_shards() const { return num_shards_; }
   size_t size() const { return datasets_.size(); }

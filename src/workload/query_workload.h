@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "data/dataset.h"
 #include "geometry/bounding_box.h"
 #include "io/paged_file.h"
@@ -32,15 +33,15 @@ class QueryRegions {
 
   /// True iff query i's region intersects `box` — i.e. an exact search for
   /// query i would read a page with this MBR.
-  virtual bool Intersects(size_t i,
-                          const geometry::BoundingBox& box) const = 0;
+  HDIDX_CONCURRENT_READ virtual bool Intersects(
+      size_t i, const geometry::BoundingBox& box) const = 0;
 
   /// Number of `boxes` query i's region intersects. `slab` is a BoxSlab the
   /// caller built over the same boxes — or an empty slab on the scalar
   /// path, in which case (and for workload types without a batched kernel)
   /// the default per-box Intersects loop runs. Overrides are
   /// decision-identical to that loop for every box.
-  virtual size_t CountIntersections(
+  HDIDX_CONCURRENT_READ virtual size_t CountIntersections(
       size_t i, std::span<const geometry::BoundingBox> boxes,
       const geometry::kernels::BoxSlab& slab) const;
 };

@@ -6,10 +6,12 @@
 #include "geometry/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "common/arena.h"
@@ -482,6 +484,48 @@ TEST(KernelModeTest, ExplicitModeEntryPointsResolveUnsupportedIsas) {
     EXPECT_EQ(CountSphereHits(center, 1.0, slab, mode), 1u)
         << KernelModeName(mode);
   }
+}
+
+TEST(KernelModeTest, OverrideFlipsAreRaceFreeUnderConcurrentReaders) {
+  // Regression for the override's memory ordering: SetKernelMode /
+  // ClearKernelModeOverride publish with release stores and
+  // ActiveKernelMode reads with an acquire load, so readers racing a flip
+  // must always observe a supported mode and kernels must keep returning
+  // oracle-identical results. Runs under the TSan CI leg (name contains
+  // "Kernel"), which would flag the pre-atomic formulation.
+  ModeOverrideGuard guard;
+  std::vector<BoundingBox> boxes;
+  boxes.push_back(BoundingBox({0.f, 0.f}, {1.f, 1.f}));
+  boxes.push_back(BoundingBox({3.f, 3.f}, {4.f, 4.f}));
+  const BoxSlab slab{std::span<const BoundingBox>(boxes)};
+  const std::vector<float> center = {0.5f, 0.5f};
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> bad_modes{0};
+  std::atomic<size_t> bad_counts{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const KernelMode mode = ActiveKernelMode();
+        if (!KernelModeSupported(mode)) {
+          bad_modes.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (CountSphereHits(center, 1.0, slab) != 1u) {
+          bad_counts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  const std::vector<KernelMode> modes = SupportedKernelModes();
+  for (int i = 0; i < 400; ++i) {
+    SetKernelMode(modes[static_cast<size_t>(i) % modes.size()]);
+    if (i % 7 == 0) ClearKernelModeOverride();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(bad_modes.load(), 0u);
+  EXPECT_EQ(bad_counts.load(), 0u);
 }
 
 TEST(KernelModeTest, ParseRoundTripsNamesAndFallsBackOnGarbage) {

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Compares a google-benchmark JSON run against BENCH_BASELINE.json.
+
+The baseline pins the PR 6 kernel-layer numbers (BM_CountLeafIntersections,
+BM_ExactKthScan, BM_SlabBuild) with their custom counters:
+
+  speedup_vs_pr5 — how much faster this mode is than the PR 5 generic
+      batched lane on the same shape (0 for the scalar oracle rows).
+  bytes_touched — bytes the kernel streams per iteration; a pure function
+      of the input shape, so any drift means the kernel started reading a
+      different working set, not that the machine got slower.
+
+Timings move with the host, so this gate is advisory by default
+(--max-regression inf): CI prints the table and warns. bytes_touched drift
+is always an error — it is machine-independent.
+
+Usage:
+  bench_micro --benchmark_filter='...' --benchmark_format=json > run.json
+  tools/bench_compare.py --baseline BENCH_BASELINE.json run.json
+  tools/bench_compare.py --baseline ... run.json --max-regression 0.5
+      # fail when speedup_vs_pr5 drops more than 50% below baseline
+
+Exit status: 0 clean/warn-only, 1 hard failure (bytes drift, or a speedup
+regression beyond --max-regression), 2 usage/format error.
+
+`--selftest` runs a built-in fixture check (no benchmark binary needed).
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+# Rows whose benchmark errored (e.g. "neon not supported on this host")
+# are skipped: availability depends on the machine, not the code.
+COMPARED_COUNTERS = ("speedup_vs_pr5", "bytes_touched")
+
+
+def load_rows(path_or_obj):
+    if isinstance(path_or_obj, (str, pathlib.Path)):
+        with open(path_or_obj, encoding="utf-8") as f:
+            doc = json.load(f)
+    else:
+        doc = path_or_obj
+    rows = {}
+    for bench in doc.get("benchmarks", ()):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if bench.get("error_occurred"):
+            continue
+        rows[bench["name"]] = bench
+    return rows
+
+
+def compare(baseline_rows, run_rows, max_regression):
+    """Returns (report lines, warnings, errors)."""
+    lines, warnings, errors = [], [], []
+    common = sorted(set(baseline_rows) & set(run_rows))
+    if not common:
+        errors.append("no common benchmark rows between baseline and run")
+        return lines, warnings, errors
+    only_base = sorted(set(baseline_rows) - set(run_rows))
+    only_run = sorted(set(run_rows) - set(baseline_rows))
+    for name in only_base:
+        warnings.append(f"baseline row missing from run: {name}")
+    for name in only_run:
+        warnings.append(f"run row not in baseline: {name}")
+
+    lines.append(f"{'benchmark':<48} {'speedup_vs_pr5':>18} "
+                 f"{'bytes_touched':>16}")
+    for name in common:
+        base, run = baseline_rows[name], run_rows[name]
+
+        base_bytes = base.get("bytes_touched")
+        run_bytes = run.get("bytes_touched")
+        bytes_note = "-"
+        if base_bytes is not None and run_bytes is not None:
+            if run_bytes != base_bytes:
+                bytes_note = f"{base_bytes:.0f} -> {run_bytes:.0f}"
+                errors.append(
+                    f"{name}: bytes_touched drifted "
+                    f"{base_bytes:.0f} -> {run_bytes:.0f}; the kernel "
+                    f"reads a different working set than the baseline")
+            else:
+                bytes_note = "="
+
+        base_speed = base.get("speedup_vs_pr5")
+        run_speed = run.get("speedup_vs_pr5")
+        speed_note = "-"
+        if base_speed is not None and run_speed is not None:
+            speed_note = f"{base_speed:.2f} -> {run_speed:.2f}"
+            # Scalar-oracle rows carry 0 by construction; nothing to gate.
+            if base_speed > 0:
+                ratio = run_speed / base_speed
+                if ratio < 1.0 - max_regression:
+                    errors.append(
+                        f"{name}: speedup_vs_pr5 regressed "
+                        f"{base_speed:.2f} -> {run_speed:.2f} "
+                        f"(more than {max_regression:.0%} below baseline)")
+                elif ratio < 0.8:
+                    warnings.append(
+                        f"{name}: speedup_vs_pr5 {base_speed:.2f} -> "
+                        f"{run_speed:.2f} (timing-sensitive; check the "
+                        f"host before reading much into it)")
+        lines.append(f"{name:<48} {speed_note:>18} {bytes_note:>16}")
+    return lines, warnings, errors
+
+
+def selftest():
+    def doc(rows):
+        return {"benchmarks": rows}
+
+    base = doc([
+        {"name": "BM_X/1", "speedup_vs_pr5": 4.0, "bytes_touched": 100.0},
+        {"name": "BM_X/2", "speedup_vs_pr5": 0.0, "bytes_touched": 100.0},
+        {"name": "BM_Gone", "speedup_vs_pr5": 1.0, "bytes_touched": 1.0},
+        {"name": "BM_Err", "error_occurred": True,
+         "error_message": "unsupported"},
+    ])
+
+    # Identical run: clean.
+    _, warnings, errors = compare(load_rows(base), load_rows(base),
+                                  max_regression=math.inf)
+    assert not errors, errors
+    assert len(warnings) == 0, warnings
+
+    # bytes drift: always an error; missing rows warn.
+    run = doc([
+        {"name": "BM_X/1", "speedup_vs_pr5": 4.1, "bytes_touched": 128.0},
+        {"name": "BM_X/2", "speedup_vs_pr5": 0.0, "bytes_touched": 100.0},
+        {"name": "BM_New", "speedup_vs_pr5": 9.0, "bytes_touched": 5.0},
+    ])
+    _, warnings, errors = compare(load_rows(base), load_rows(run),
+                                  max_regression=math.inf)
+    assert any("bytes_touched drifted" in e for e in errors), errors
+    assert any("BM_Gone" in w for w in warnings), warnings
+    assert any("BM_New" in w for w in warnings), warnings
+
+    # Speedup collapse: warn when advisory, error when gated.
+    run = doc([
+        {"name": "BM_X/1", "speedup_vs_pr5": 1.0, "bytes_touched": 100.0},
+        {"name": "BM_X/2", "speedup_vs_pr5": 0.0, "bytes_touched": 100.0},
+    ])
+    _, warnings, errors = compare(load_rows(base), load_rows(run),
+                                  max_regression=math.inf)
+    assert not errors, errors
+    assert any("timing-sensitive" in w for w in warnings), warnings
+    _, _, errors = compare(load_rows(base), load_rows(run),
+                           max_regression=0.5)
+    assert any("regressed" in e for e in errors), errors
+
+    # Errored baseline rows are ignored even if the run reports them.
+    assert "BM_Err" not in load_rows(base)
+
+    print("bench_compare selftest: OK")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff benchmark counters against the pinned baseline.")
+    parser.add_argument("run", nargs="?", help="benchmark JSON to check")
+    parser.add_argument("--baseline",
+                        default=str(pathlib.Path(__file__).resolve()
+                                    .parent.parent / "BENCH_BASELINE.json"))
+    parser.add_argument("--max-regression", type=float, default=math.inf,
+                        help="fail when speedup_vs_pr5 falls more than this "
+                        "fraction below baseline (default: never — "
+                        "warn-only)")
+    parser.add_argument("--selftest", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if args.run is None:
+        parser.error("a run JSON is required (or --selftest)")
+
+    try:
+        baseline_rows = load_rows(args.baseline)
+        run_rows = load_rows(args.run)
+    except (OSError, json.JSONDecodeError, KeyError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    lines, warnings, errors = compare(baseline_rows, run_rows,
+                                      args.max_regression)
+    for line in lines:
+        print(line)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

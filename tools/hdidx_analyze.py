@@ -1,0 +1,1092 @@
+#!/usr/bin/env python3
+"""hdidx_analyze: AST-level concurrency-contract analyzer.
+
+The annotations in src/common/thread_annotations.h state contracts the
+compiler alone cannot enforce end-to-end: Clang's -Wthread-safety checks
+lock discipline inside one function, but nothing checks that the
+*annotations themselves* cover what they claim, or that the repo's
+build-phase/read-phase ownership rule holds across the call graph. This
+tool closes that gap with four repo-specific rules:
+
+  rule `guarded` — guarded-by coverage. A class that owns a mutex
+      (common::Mutex or std::mutex field) must say, for every mutable
+      field, how that field is synchronized: HDIDX_GUARDED_BY(mu),
+      HDIDX_UNGUARDED (with a comment explaining the protocol), or an
+      allowlist entry. const fields, atomics, the mutexes and condvars
+      themselves are exempt. An unannotated field in a lock-owning class
+      is exactly where the next data race gets added.
+
+  rule `phase` — ownership-phase discipline. Functions tagged
+      HDIDX_BUILD_ONLY (arena allocation, BoxSlab/RTree mutation, bulk
+      loading) are single-owner build-phase code; functions tagged
+      HDIDX_CONCURRENT_READ (kernel entry points, registry Find, tree
+      queries) run concurrently on shared immutable state. No
+      concurrent-read function may reach a build-only function through
+      the call graph — such an edge would mutate shared state under
+      concurrent readers. Reported with the offending call chain.
+
+  rule `switch` — exhaustive enum switches, generalized from
+      hdidx_lint's KernelMode-only rule to every enum defined in src/:
+      a switch over a project enum must list every enumerator and carry
+      no `default:` (a default silences -Wswitch, so a new enumerator
+      would fall through an unconsidered path instead of failing the
+      build).
+
+  rule `hygiene` — every allowlist entry must still match something.
+      A stale exemption is a contract nobody is honoring anymore.
+
+Frontends (--frontend):
+  cindex — libclang via clang.cindex over build/compile_commands.json.
+      Exact AST: qualified names, resolved call targets, enum-typed
+      switch subjects. Used by CI, where python3-clang is installed.
+  lite — a self-contained tokenizer/structural parser with no
+      dependencies beyond the standard library. Same facts model,
+      name-based call graph. Runs anywhere (the ctest gate uses it).
+  auto — cindex when importable, else lite (the default).
+
+Violations print as `path:line: rule: message` and exit status is the
+violation count (capped at 1 for shells).
+
+Allowlist (--allowlist, default tools/analyze_allowlist.txt): lines of
+`rule value  # reason`, where value is
+  guarded  Class::field
+  phase    RootFunction->TargetFunction
+  switch   path/to/file.cc:EnumName
+Unused entries are themselves violations (rule `hygiene`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import dataclasses
+import pathlib
+import re
+import sys
+
+SRC_EXTENSIONS = {".h", ".cc"}
+
+TAG_BUILD_ONLY = "build_only"
+TAG_CONCURRENT_READ = "concurrent_read"
+
+# Source spellings (both the macro names and the raw annotate strings, so
+# the lite frontend reads macros and the cindex frontend reads attributes).
+TAG_TOKENS = {
+    "HDIDX_BUILD_ONLY": TAG_BUILD_ONLY,
+    "HDIDX_CONCURRENT_READ": TAG_CONCURRENT_READ,
+    "hdidx::build_only": TAG_BUILD_ONLY,
+    "hdidx::concurrent_read": TAG_CONCURRENT_READ,
+}
+
+GUARDED_MACROS = {"HDIDX_GUARDED_BY", "HDIDX_PT_GUARDED_BY"}
+UNGUARDED_MACRO = "HDIDX_UNGUARDED"
+
+CPP_KEYWORDS = {
+    "alignas", "alignof", "asm", "auto", "bool", "break", "case", "catch",
+    "char", "class", "const", "consteval", "constexpr", "constinit",
+    "const_cast", "continue", "decltype", "default", "delete", "do",
+    "double", "dynamic_cast", "else", "enum", "explicit", "export",
+    "extern", "false", "final", "float", "for", "friend", "goto", "if",
+    "inline", "int", "long", "mutable", "namespace", "new", "noexcept",
+    "nullptr", "operator", "override", "private", "protected", "public",
+    "register", "reinterpret_cast", "requires", "return", "short",
+    "signed", "sizeof", "static", "static_assert", "static_cast",
+    "struct", "switch", "template", "this", "thread_local", "throw",
+    "true", "try", "typedef", "typeid", "typename", "union", "unsigned",
+    "using", "virtual", "void", "volatile", "wchar_t", "while",
+}
+
+
+# ---------------------------------------------------------------------------
+# Facts model (shared by both frontends)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Field:
+    name: str
+    file: str
+    line: int
+    guarded: bool = False
+    unguarded: bool = False
+    is_const: bool = False
+    is_atomic: bool = False
+    is_mutex: bool = False
+    is_condvar: bool = False
+    is_static: bool = False
+
+
+@dataclasses.dataclass
+class Record:
+    name: str
+    file: str
+    line: int
+    fields: list = dataclasses.field(default_factory=list)
+
+    def owns_mutex(self):
+        return any(f.is_mutex for f in self.fields)
+
+
+@dataclasses.dataclass
+class Function:
+    name: str
+    file: str
+    line: int
+    tags: set = dataclasses.field(default_factory=set)
+    calls: set = dataclasses.field(default_factory=set)
+    has_body: bool = False
+
+
+@dataclasses.dataclass
+class EnumDef:
+    name: str
+    file: str
+    line: int
+    enumerators: list = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class Switch:
+    file: str
+    line: int
+    labels: list = dataclasses.field(default_factory=list)
+    has_default: bool = False
+    enum_name: str = ""  # resolved subject enum (cindex) or "" (lite)
+
+
+@dataclasses.dataclass
+class Facts:
+    functions: list = dataclasses.field(default_factory=list)
+    records: list = dataclasses.field(default_factory=list)
+    enums: list = dataclasses.field(default_factory=list)
+    switches: list = dataclasses.field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Lite frontend: tokenizer + structural parser
+# ---------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<id>[A-Za-z_]\w*)
+    | (?P<num>\.?\d(?:[\w.]|[eEpP][+-])*)
+    | (?P<punct>::|->|\+\+|--|<<=|>>=|<=|>=|==|!=|&&|\|\||[-+*/%^&|~!<>=?:;,.(){}\[\]#\\@])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclasses.dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(n, j + 1)
+            # Keep quotes so annotate strings inside attributes stay visible.
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def strip_preprocessor(text):
+    """Blanks preprocessor directives (including line continuations) —
+    run after strip_comments_and_strings so '#' inside strings is gone."""
+    lines = text.split("\n")
+    i = 0
+    while i < len(lines):
+        if lines[i].lstrip().startswith("#"):
+            while True:
+                cont = lines[i].rstrip().endswith("\\")
+                lines[i] = ""
+                if not cont or i + 1 >= len(lines):
+                    break
+                i += 1
+        i += 1
+    return "\n".join(lines)
+
+
+def tokenize(text):
+    tokens = []
+    line = 1
+    pos = 0
+    for m in TOKEN_RE.finditer(text):
+        line += text.count("\n", pos, m.start())
+        pos = m.start()
+        kind = m.lastgroup
+        tokens.append(Token(kind, m.group(), line))
+    return tokens
+
+
+class LiteParser:
+    """Structural parser: scopes, records, fields, functions, enums,
+    switches. Intentionally approximate — a tripwire with a clean fallback
+    path (the cindex frontend), not a compiler."""
+
+    def __init__(self, relpath, tokens, facts):
+        self.relpath = relpath
+        self.toks = tokens
+        self.facts = facts
+        self.i = 0
+
+    def done(self):
+        return self.i >= len(self.toks)
+
+    def peek(self, off=0):
+        j = self.i + off
+        return self.toks[j] if j < len(self.toks) else None
+
+    def parse(self):
+        self.parse_scope(class_name=None)
+
+    # -- scope machinery ---------------------------------------------------
+
+    def parse_scope(self, class_name):
+        """Parses declarations until the matching '}' (or EOF)."""
+        while not self.done():
+            tok = self.peek()
+            if tok.text == "}":
+                self.i += 1
+                return
+            if tok.text in (";", ":"):  # stray / access specifier tail
+                self.i += 1
+                continue
+            if tok.text in ("public", "private", "protected") and \
+                    self.peek(1) and self.peek(1).text == ":":
+                self.i += 2
+                continue
+            self.parse_statement(class_name)
+
+    def collect_head(self):
+        """Collects one declaration head: tokens until ';' or '{' at paren
+        depth 0 (angle-aware), or a stray '}'. Returns (head, terminator)."""
+        head = []
+        paren = 0
+        angle = 0
+        while not self.done():
+            tok = self.peek()
+            t = tok.text
+            if paren == 0 and angle == 0 and t in (";", "{", "}"):
+                return head, t
+            self.i += 1
+            head.append(tok)
+            if t == "(":
+                paren += 1
+            elif t == ")":
+                paren = max(0, paren - 1)
+            elif t == "<":
+                prev = head[-2] if len(head) >= 2 else None
+                if prev is not None and (prev.kind == "id" or
+                                         prev.text in (">", "::")):
+                    angle += 1
+            elif t == ">" and angle > 0:
+                angle -= 1
+        return head, None
+
+    def skip_balanced(self, open_tok, close_tok):
+        """self.i points at open_tok; consumes through its match. Returns the
+        consumed tokens (exclusive of the outer pair)."""
+        assert self.peek().text == open_tok
+        self.i += 1
+        depth = 1
+        body = []
+        while not self.done():
+            tok = self.peek()
+            self.i += 1
+            if tok.text == open_tok:
+                depth += 1
+            elif tok.text == close_tok:
+                depth -= 1
+                if depth == 0:
+                    return body
+            body.append(tok)
+        return body
+
+    # -- declarations ------------------------------------------------------
+
+    def parse_statement(self, class_name):
+        start = self.i
+        head, term = self.collect_head()
+        if term is None:
+            return
+        if term == "}":
+            return  # parse_scope consumes it
+        texts = [t.text for t in head]
+
+        if "namespace" in texts[:3] and term == "{":
+            self.i += 1  # '{'
+            self.parse_scope(class_name)
+            return
+
+        kw = next((t for t in texts if t in ("class", "struct", "union",
+                                             "enum")), None)
+        if kw == "enum" and term == "{":
+            self.parse_enum(head)
+            self.expect_semicolon()
+            return
+        if kw in ("class", "struct", "union") and term == "{" and \
+                not self.head_is_function(head):
+            name = self.record_name(head)
+            record = Record(name=name or "<anon>", file=self.relpath,
+                            line=head[0].line)
+            self.facts.records.append(record)
+            self.i += 1  # '{'
+            self.parse_scope(class_name=record)
+            self.expect_semicolon()
+            return
+
+        if self.head_is_function(head):
+            self.parse_function(head, term, class_name)
+            return
+
+        if term == "{":
+            # Braced initializer in a declaration: consume, then the rest of
+            # the statement, and treat the whole thing as one declaration.
+            init = self.skip_balanced("{", "}")
+            tail, tail_term = self.collect_head()
+            if tail_term == ";":
+                self.i += 1
+            if isinstance(class_name, Record):
+                self.record_field(head, class_name)
+            return
+
+        # term == ';'
+        self.i += 1
+        if isinstance(class_name, Record):
+            self.record_field(head, class_name)
+        elif self.head_has_call_parens(head):
+            # Free-function declaration: registers tags placed on prototypes
+            # (the normal spot for entry-point annotations).
+            self.register_function_decl(head, has_body=False, body=None)
+
+    def parse_enum(self, head):
+        """head = 'enum [class|struct] Name [: underlying]'; self.i at '{'."""
+        texts = [t.text for t in head]
+        name = None
+        k = texts.index("enum")
+        j = k + 1
+        while j < len(texts):
+            if texts[j] in ("class", "struct"):
+                j += 1
+                continue
+            if texts[j] == ":":
+                break
+            if head[j].kind == "id":
+                name = texts[j]
+            break
+        enum = EnumDef(name=name or "<anon>", file=self.relpath,
+                       line=head[0].line)
+        body = self.skip_balanced("{", "}")
+        expect_name = True
+        depth = 0
+        for tok in body:
+            if tok.text in ("(", "{", "["):
+                depth += 1
+            elif tok.text in (")", "}", "]"):
+                depth -= 1
+            elif depth == 0 and tok.text == ",":
+                expect_name = True
+            elif depth == 0 and expect_name and tok.kind == "id":
+                enum.enumerators.append(tok.text)
+                expect_name = False
+        self.facts.enums.append(enum)
+
+    def expect_semicolon(self):
+        if not self.done() and self.peek().text == ";":
+            self.i += 1
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def head_has_call_parens(head):
+        """True when the head has a '(' preceded by an identifier at angle
+        depth 0 — the parameter list of a function declarator."""
+        angle = 0
+        for idx, tok in enumerate(head):
+            t = tok.text
+            if t == "<":
+                prev = head[idx - 1] if idx else None
+                if prev is not None and (prev.kind == "id" or
+                                         prev.text in (">", "::")):
+                    angle += 1
+            elif t == ">" and angle > 0:
+                angle -= 1
+            elif t == "(" and angle == 0:
+                prev = head[idx - 1] if idx else None
+                if prev is not None and prev.kind == "id" and \
+                        prev.text not in GUARDED_MACROS and \
+                        not prev.text.startswith("HDIDX_"):
+                    return True
+        return False
+
+    def head_is_function(self, head):
+        return self.head_has_call_parens(head)
+
+    @staticmethod
+    def record_name(head):
+        texts = [t.text for t in head]
+        try:
+            k = next(i for i, t in enumerate(texts)
+                     if t in ("class", "struct", "union"))
+        except StopIteration:
+            return None
+        j = k + 1
+        while j < len(texts):
+            t = texts[j]
+            if t.startswith("HDIDX_") or t == "alignas":
+                j += 1
+                if j < len(texts) and texts[j] == "(":
+                    depth = 0
+                    while j < len(texts):
+                        if texts[j] == "(":
+                            depth += 1
+                        elif texts[j] == ")":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        j += 1
+                    j += 1
+                continue
+            if head[j].kind == "id":
+                # Skip over a name that is immediately followed by '::'
+                # (qualified out-of-line definitions never reach here).
+                return t
+            break
+        return None
+
+    def record_field(self, head, record):
+        texts = [t.text for t in head]
+        if not texts or texts[0] in ("using", "typedef", "friend",
+                                     "static_assert", "template", "enum",
+                                     "class", "struct", "union"):
+            return
+        if "operator" in texts:  # operator decls are functions, not fields
+            return
+        guarded = any(t in GUARDED_MACROS for t in texts)
+        unguarded = UNGUARDED_MACRO in texts
+        is_static = "static" in texts
+        # Strip annotation macros (and their argument lists) before looking
+        # at the declaration proper.
+        clean = []
+        j = 0
+        while j < len(head):
+            t = texts[j]
+            if t in GUARDED_MACROS or t == UNGUARDED_MACRO or \
+                    t in TAG_TOKENS:
+                j += 1
+                if j < len(texts) and texts[j] == "(":
+                    depth = 0
+                    while j < len(texts):
+                        if texts[j] == "(":
+                            depth += 1
+                        elif texts[j] == ")":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        j += 1
+                    j += 1
+                continue
+            clean.append(head[j])
+            j += 1
+        if not clean:
+            return
+        # Field name: the identifier before '=' (or the trailing one).
+        name = None
+        for idx, tok in enumerate(clean):
+            if tok.text == "=":
+                prev = clean[idx - 1] if idx else None
+                if prev is not None and prev.kind == "id":
+                    name = prev.text
+                break
+        if name is None:
+            for tok in reversed(clean):
+                if tok.kind == "id" and tok.text not in CPP_KEYWORDS:
+                    name = tok.text
+                    break
+        if name is None:
+            return
+        clean_texts = [t.text for t in clean]
+        # Type classification at angle depth 0 (so `span<const T>` is not
+        # "const" and std::atomic's parameter does not leak out).
+        angle = 0
+        top = []
+        for idx, t in enumerate(clean_texts):
+            if t == "<":
+                prev = clean[idx - 1] if idx else None
+                if prev is not None and (prev.kind == "id" or
+                                         prev.text in (">", "::")):
+                    angle += 1
+                    continue
+            elif t == ">" and angle > 0:
+                angle -= 1
+                continue
+            if angle == 0:
+                top.append(t)
+        field = Field(
+            name=name, file=self.relpath, line=clean[0].line,
+            guarded=guarded, unguarded=unguarded,
+            is_const=("const" in top or "constexpr" in top),
+            is_atomic=("atomic" in clean_texts),
+            is_mutex=("Mutex" in top or "mutex" in clean_texts),
+            is_condvar=("CondVar" in top or
+                        "condition_variable" in clean_texts or
+                        "condition_variable_any" in clean_texts),
+            is_static=is_static,
+        )
+        record.fields.append(field)
+
+    # -- functions ---------------------------------------------------------
+
+    @staticmethod
+    def function_name(head):
+        """Identifier before the first parameter-list '(' (angle depth 0)."""
+        angle = 0
+        for idx, tok in enumerate(head):
+            t = tok.text
+            if t == "<":
+                prev = head[idx - 1] if idx else None
+                if prev is not None and (prev.kind == "id" or
+                                         prev.text in (">", "::")):
+                    angle += 1
+            elif t == ">" and angle > 0:
+                angle -= 1
+            elif t == "(" and angle == 0:
+                prev = head[idx - 1] if idx else None
+                if prev is not None and prev.kind == "id" and \
+                        not prev.text.startswith("HDIDX_"):
+                    return prev.text
+        return None
+
+    def register_function_decl(self, head, has_body, body):
+        name = self.function_name(head)
+        if name is None or name in CPP_KEYWORDS:
+            return
+        tags = {TAG_TOKENS[t.text] for t in head if t.text in TAG_TOKENS}
+        fn = Function(name=name, file=self.relpath, line=head[0].line,
+                      tags=tags, has_body=has_body)
+        if body is not None:
+            fn.calls = self.extract_calls(body)
+        self.facts.functions.append(fn)
+
+    def parse_function(self, head, term, class_name):
+        if term == ";":
+            self.i += 1
+            self.register_function_decl(head, has_body=False, body=None)
+            return
+        # term == '{' — but a constructor initializer list may still be
+        # pending (`: mu_(mu)` was consumed into head by collect_head since
+        # parens balance). The '{' here is the body.
+        body = self.skip_balanced("{", "}")
+        self.register_function_decl(head, has_body=True, body=body)
+        # Trailing '{...}' bodies need no ';' — but consume one if present
+        # so `struct S { ... } s;`-style oddities do not desync.
+        self.scan_switches(body)
+
+    @staticmethod
+    def extract_calls(body):
+        calls = set()
+        for idx, tok in enumerate(body):
+            if tok.kind != "id" or tok.text in CPP_KEYWORDS:
+                continue
+            nxt = body[idx + 1] if idx + 1 < len(body) else None
+            if nxt is not None and nxt.text == "(":
+                calls.add(tok.text)
+        return calls
+
+    # -- switches (inside function bodies) ---------------------------------
+
+    def scan_switches(self, body):
+        idx = 0
+        while idx < len(body):
+            if body[idx].text == "switch":
+                idx = self.parse_switch(body, idx)
+            else:
+                idx += 1
+
+    def parse_switch(self, body, idx):
+        """body[idx] == 'switch'. Returns the index just past the switch."""
+        line = body[idx].line
+        j = idx + 1
+        # condition
+        if j >= len(body) or body[j].text != "(":
+            return idx + 1
+        depth = 0
+        while j < len(body):
+            if body[j].text == "(":
+                depth += 1
+            elif body[j].text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        j += 1
+        if j >= len(body) or body[j].text != "{":
+            return idx + 1
+        # switch body extent
+        depth = 0
+        k = j
+        while k < len(body):
+            if body[k].text == "{":
+                depth += 1
+            elif body[k].text == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        sub = body[j + 1:k]
+        sw = Switch(file=self.relpath, line=line)
+        m = 0
+        while m < len(sub):
+            t = sub[m]
+            if t.text == "switch":
+                m = self.parse_switch(sub, m)  # nested: own Switch record
+                continue
+            if t.text == "case":
+                # label = tokens to ':' ; keep the last identifier.
+                label = None
+                m += 1
+                while m < len(sub) and sub[m].text != ":":
+                    if sub[m].kind == "id":
+                        label = sub[m].text
+                    m += 1
+                if label is not None:
+                    sw.labels.append(label)
+            elif t.text == "default" and m + 1 < len(sub) and \
+                    sub[m + 1].text == ":":
+                sw.has_default = True
+            m += 1
+        self.facts.switches.append(sw)
+        return k + 1
+
+
+def build_facts_lite(root, files):
+    facts = Facts()
+    for path in files:
+        rel = str(path.relative_to(root))
+        text = strip_preprocessor(strip_comments_and_strings(
+            path.read_text(encoding="utf-8", errors="replace")))
+        tokens = tokenize(text)
+        LiteParser(rel, tokens, facts).parse()
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# cindex frontend (CI: python3-clang + libclang over compile_commands.json)
+# ---------------------------------------------------------------------------
+
+
+def build_facts_cindex(root, files, compdb_dir):
+    from clang import cindex  # noqa: deferred import — CI-only dependency
+
+    index = cindex.Index.create()
+    compdb = cindex.CompilationDatabase.fromDirectory(str(compdb_dir))
+    wanted = {str(p) for p in files}
+    facts = Facts()
+    seen_functions = set()
+    seen_records = set()
+    seen_enums = set()
+    seen_switches = set()
+
+    def relpath(location):
+        if location.file is None:
+            return None
+        p = pathlib.Path(str(location.file)).resolve()
+        try:
+            return str(p.relative_to(root))
+        except ValueError:
+            return None
+
+    def annotations(cursor):
+        tags = set()
+        for child in cursor.get_children():
+            if child.kind == cindex.CursorKind.ANNOTATE_ATTR and \
+                    child.spelling in TAG_TOKENS:
+                tags.add(TAG_TOKENS[child.spelling])
+        return tags
+
+    def field_facts(cursor, rel):
+        tokens = {t.spelling for t in cursor.get_tokens()}
+        type_spelling = cursor.type.spelling
+        return Field(
+            name=cursor.spelling, file=rel, line=cursor.location.line,
+            guarded=bool(tokens & GUARDED_MACROS),
+            unguarded=UNGUARDED_MACRO in tokens,
+            is_const=cursor.type.is_const_qualified() or
+            type_spelling.startswith("const "),
+            is_atomic="atomic" in type_spelling,
+            is_mutex="Mutex" in type_spelling or "mutex" in type_spelling,
+            is_condvar="CondVar" in type_spelling or
+            "condition_variable" in type_spelling,
+            is_static=cursor.storage_class == cindex.StorageClass.STATIC,
+        )
+
+    def walk(cursor):
+        rel = relpath(cursor.location)
+        kind = cursor.kind
+        if kind in (cindex.CursorKind.FUNCTION_DECL,
+                    cindex.CursorKind.CXX_METHOD,
+                    cindex.CursorKind.CONSTRUCTOR,
+                    cindex.CursorKind.FUNCTION_TEMPLATE) and rel:
+            key = (rel, cursor.location.line, cursor.spelling)
+            if key not in seen_functions:
+                seen_functions.add(key)
+                fn = Function(name=cursor.spelling.split("<")[0], file=rel,
+                              line=cursor.location.line,
+                              tags=annotations(cursor),
+                              has_body=cursor.is_definition())
+                if cursor.is_definition():
+                    collect_calls(cursor, fn.calls)
+                    collect_switches(cursor, rel)
+                facts.functions.append(fn)
+        elif kind in (cindex.CursorKind.CLASS_DECL,
+                      cindex.CursorKind.STRUCT_DECL) and rel and \
+                cursor.is_definition():
+            key = (rel, cursor.location.line)
+            if key not in seen_records:
+                seen_records.add(key)
+                record = Record(name=cursor.spelling or "<anon>", file=rel,
+                                line=cursor.location.line)
+                for child in cursor.get_children():
+                    if child.kind == cindex.CursorKind.FIELD_DECL:
+                        record.fields.append(field_facts(child, rel))
+                facts.records.append(record)
+        elif kind == cindex.CursorKind.ENUM_DECL and rel and \
+                cursor.is_definition():
+            key = (rel, cursor.location.line)
+            if key not in seen_enums:
+                seen_enums.add(key)
+                enum = EnumDef(name=cursor.spelling or "<anon>", file=rel,
+                               line=cursor.location.line)
+                for child in cursor.get_children():
+                    if child.kind == cindex.CursorKind.ENUM_CONSTANT_DECL:
+                        enum.enumerators.append(child.spelling)
+                facts.enums.append(enum)
+        for child in cursor.get_children():
+            walk(child)
+
+    def collect_calls(cursor, calls):
+        for child in cursor.walk_preorder():
+            if child.kind == cindex.CursorKind.CALL_EXPR:
+                ref = child.referenced
+                if ref is not None and ref.spelling:
+                    calls.add(ref.spelling.split("<")[0])
+
+    def collect_switches(cursor, rel):
+        for child in cursor.walk_preorder():
+            if child.kind != cindex.CursorKind.SWITCH_STMT:
+                continue
+            key = (rel, child.location.line)
+            if key in seen_switches:
+                continue
+            seen_switches.add(key)
+            sw = Switch(file=rel, line=child.location.line)
+            children = list(child.get_children())
+            if children:
+                cond_type = children[0].type.get_canonical()
+                decl = cond_type.get_declaration()
+                if decl.kind == cindex.CursorKind.ENUM_DECL:
+                    sw.enum_name = decl.spelling
+            for node in child.walk_preorder():
+                if node.kind == cindex.CursorKind.DEFAULT_STMT:
+                    sw.has_default = True
+                elif node.kind == cindex.CursorKind.CASE_STMT:
+                    for ref in node.walk_preorder():
+                        if ref.kind == cindex.CursorKind.DECL_REF_EXPR and \
+                                ref.referenced is not None and \
+                                ref.referenced.kind == \
+                                cindex.CursorKind.ENUM_CONSTANT_DECL:
+                            sw.labels.append(ref.referenced.spelling)
+                            break
+            facts.switches.append(sw)
+
+    for entry in compdb.getAllCompileCommands():
+        source = str(pathlib.Path(entry.filename).resolve())
+        if source not in wanted:
+            continue
+        args = [a for a in list(entry.arguments)[1:]
+                if a not in ("-c", source)]
+        # Drop the output pair; libclang only needs the frontend flags.
+        cleaned = []
+        skip = False
+        for a in args:
+            if skip:
+                skip = False
+                continue
+            if a == "-o":
+                skip = True
+                continue
+            cleaned.append(a)
+        tu = index.parse(source, args=cleaned)
+        walk(tu.cursor)
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Allowlist
+# ---------------------------------------------------------------------------
+
+
+class Allowlist:
+    def __init__(self, path):
+        self.path = path
+        self.entries = {}  # (rule, value) -> line number
+        self.used = set()
+        if path is not None and path.exists():
+            for lineno, raw in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), start=1):
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split(None, 1)
+                if len(parts) != 2:
+                    continue
+                self.entries[(parts[0], parts[1].strip())] = lineno
+
+    def allows(self, rule, value):
+        key = (rule, value)
+        if key in self.entries:
+            self.used.add(key)
+            return True
+        return False
+
+    def unused(self):
+        return [(rule, value, lineno)
+                for (rule, value), lineno in sorted(self.entries.items(),
+                                                    key=lambda kv: kv[1])
+                if (rule, value) not in self.used]
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def check_guarded(facts, allowlist, violations):
+    for record in facts.records:
+        if not record.owns_mutex():
+            continue
+        for field in record.fields:
+            if (field.is_const or field.is_atomic or field.is_mutex or
+                    field.is_condvar or field.is_static or field.guarded or
+                    field.unguarded):
+                continue
+            value = f"{record.name}::{field.name}"
+            if allowlist.allows("guarded", value):
+                continue
+            violations.append((
+                field.file, field.line, "guarded",
+                f"field '{field.name}' of mutex-owning class "
+                f"'{record.name}' is neither HDIDX_GUARDED_BY a mutex nor "
+                f"HDIDX_UNGUARDED; state its synchronization or allowlist "
+                f"'guarded {value}'"))
+
+
+def check_phase(facts, allowlist, violations):
+    by_name = collections.defaultdict(list)
+    for fn in facts.functions:
+        by_name[fn.name].append(fn)
+
+    tags = collections.defaultdict(set)
+    for fn in facts.functions:
+        tags[fn.name] |= fn.tags
+
+    edges = collections.defaultdict(set)
+    for fn in facts.functions:
+        if not fn.has_body:
+            continue
+        for callee in fn.calls:
+            if callee in by_name:
+                edges[fn.name].add(callee)
+
+    roots = sorted(n for n, t in tags.items() if TAG_CONCURRENT_READ in t)
+    for root in roots:
+        # BFS recording one parent per visited node for chain reporting.
+        parent = {root: None}
+        queue = collections.deque([root])
+        while queue:
+            node = queue.popleft()
+            if node != root and TAG_BUILD_ONLY in tags[node]:
+                chain = []
+                cur = node
+                while cur is not None:
+                    chain.append(cur)
+                    cur = parent[cur]
+                chain.reverse()
+                value = f"{root}->{node}"
+                if not allowlist.allows("phase", value):
+                    loc = by_name[root][0]
+                    violations.append((
+                        loc.file, loc.line, "phase",
+                        f"HDIDX_CONCURRENT_READ function '{root}' reaches "
+                        f"HDIDX_BUILD_ONLY function '{node}' via "
+                        f"{' -> '.join(chain)}; concurrent readers must "
+                        f"not run build-phase mutation (allowlist "
+                        f"'phase {value}' only with a written ownership "
+                        f"argument)"))
+                continue  # do not traverse past a build_only boundary
+            for nxt in sorted(edges.get(node, ())):
+                if nxt not in parent:
+                    parent[nxt] = node
+                    queue.append(nxt)
+
+
+def check_switch(facts, allowlist, violations):
+    enums_by_name = {}
+    enumerator_owner = collections.defaultdict(set)
+    for enum in facts.enums:
+        if not enum.enumerators:
+            continue
+        enums_by_name[enum.name] = enum
+        for e in enum.enumerators:
+            enumerator_owner[e].add(enum.name)
+
+    for sw in facts.switches:
+        enum = None
+        if sw.enum_name and sw.enum_name in enums_by_name:
+            enum = enums_by_name[sw.enum_name]
+        elif sw.labels:
+            candidates = None
+            for label in sw.labels:
+                owners = enumerator_owner.get(label)
+                if owners is None:
+                    candidates = set()
+                    break
+                candidates = owners if candidates is None \
+                    else candidates & owners
+            if candidates and len(candidates) == 1:
+                enum = enums_by_name[next(iter(candidates))]
+        if enum is None:
+            continue  # not a switch over a project enum
+        value = f"{sw.file}:{enum.name}"
+        missing = [e for e in enum.enumerators if e not in sw.labels]
+        problems = []
+        if missing:
+            problems.append(f"missing enumerator(s) {', '.join(missing)}")
+        if sw.has_default:
+            problems.append("has a 'default:' (silences -Wswitch for "
+                            "future enumerators)")
+        if problems and not allowlist.allows("switch", value):
+            violations.append((
+                sw.file, sw.line, "switch",
+                f"switch over enum '{enum.name}' {'; '.join(problems)}; "
+                f"list every enumerator and drop the default, or allowlist "
+                f"'switch {value}'"))
+
+
+def check_hygiene(allowlist, violations):
+    for rule, value, lineno in allowlist.unused():
+        violations.append((
+            str(allowlist.path), lineno, "hygiene",
+            f"unused allowlist entry '{rule} {value}' — the exemption no "
+            f"longer matches anything; delete it"))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def gather_files(root, args_files):
+    if args_files:
+        return sorted(pathlib.Path(f).resolve() for f in args_files)
+    src = root / "src"
+    return sorted(p.resolve() for p in src.rglob("*")
+                  if p.suffix in SRC_EXTENSIONS)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Concurrency-contract analyzer (see module docstring).")
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the repo containing "
+                        "this script)")
+    parser.add_argument("--frontend", choices=("auto", "cindex", "lite"),
+                        default="auto")
+    parser.add_argument("--compdb", type=pathlib.Path, default=None,
+                        help="directory containing compile_commands.json "
+                        "(default: <root>/build; cindex frontend only)")
+    parser.add_argument("--allowlist", type=pathlib.Path, default=None,
+                        help="allowlist file (default: "
+                        "<root>/tools/analyze_allowlist.txt)")
+    parser.add_argument("--rules", default="guarded,phase,switch,hygiene",
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("files", nargs="*",
+                        help="restrict to these files (default: src/**)")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    files = gather_files(root, args.files)
+    rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+
+    frontend = args.frontend
+    if frontend == "auto":
+        try:
+            import clang.cindex  # noqa: F401
+            frontend = "cindex"
+        except ImportError:
+            frontend = "lite"
+
+    if frontend == "cindex":
+        compdb_dir = args.compdb or (root / "build")
+        if not (compdb_dir / "compile_commands.json").exists():
+            print(f"hdidx_analyze: no compile_commands.json under "
+                  f"{compdb_dir}", file=sys.stderr)
+            return 2
+        facts = build_facts_cindex(root, files, compdb_dir)
+    else:
+        facts = build_facts_lite(root, files)
+
+    allowlist_path = args.allowlist or (root / "tools" /
+                                        "analyze_allowlist.txt")
+    allowlist = Allowlist(allowlist_path)
+
+    violations = []
+    if "guarded" in rules:
+        check_guarded(facts, allowlist, violations)
+    if "phase" in rules:
+        check_phase(facts, allowlist, violations)
+    if "switch" in rules:
+        check_switch(facts, allowlist, violations)
+    if "hygiene" in rules:
+        check_hygiene(allowlist, violations)
+
+    violations.sort()
+    for path, line, rule, message in violations:
+        print(f"{path}:{line}: {rule}: {message}")
+    if violations:
+        print(f"\nhdidx_analyze[{frontend}]: {len(violations)} "
+              f"violation(s) in {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"hdidx_analyze[{frontend}]: OK ({len(files)} files, "
+          f"{len(facts.functions)} functions, {len(facts.records)} records, "
+          f"{len(facts.enums)} enums, {len(facts.switches)} switches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,22 +28,11 @@ def file_digest(path):
         return "unreadable"
 
 
-def entry_key(entry, config_digest, root):
-    source = pathlib.Path(entry["file"])
-    h = hashlib.sha256()
-    h.update(config_digest.encode())
-    h.update(file_digest(source).encode())
-    h.update(entry.get("command", " ".join(entry.get("arguments", [])))
-             .encode())
-    # Local headers feed the TU; hash the project's own headers wholesale so
-    # a header edit invalidates every cached TU (coarse but correct).
-    for header in sorted((root / "src").rglob("*.h")):
-        h.update(file_digest(header).encode())
-    return h.hexdigest()
-
-
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root holding .clang-tidy and src/ "
+                             "(default: cwd)")
     parser.add_argument("--build-dir", default="build",
                         help="directory holding compile_commands.json")
     parser.add_argument("--cache-dir", default=".cache/clang-tidy",
@@ -60,7 +49,12 @@ def main():
         sys.stderr.write(f"{args.clang_tidy} not found on PATH\n")
         return 1
 
-    root = pathlib.Path.cwd()
+    root = pathlib.Path(args.root).resolve()
+    if not (root / ".clang-tidy").exists():
+        # A silently missing config would hash as a constant and stop config
+        # edits from ever invalidating the cache — refuse instead.
+        sys.stderr.write(f"no .clang-tidy under {root} (use --root)\n")
+        return 1
     db_path = pathlib.Path(args.build_dir) / "compile_commands.json"
     if not db_path.exists():
         sys.stderr.write(
@@ -77,6 +71,14 @@ def main():
     cache_dir.mkdir(parents=True, exist_ok=True)
     config_digest = file_digest(root / ".clang-tidy")
 
+    # A clang-tidy upgrade changes which checks exist and what they flag;
+    # fold the tool's own version into every key so a restored CI cache from
+    # an older runner image cannot mask new findings.
+    version = subprocess.run([args.clang_tidy, "--version"],
+                             capture_output=True, text=True)
+    tool_digest = hashlib.sha256(
+        (version.stdout + version.stderr).encode()).hexdigest()
+
     # One shared headers digest per run (entry_key re-hashes per entry; fold
     # it once here instead for speed).
     headers = hashlib.sha256()
@@ -85,7 +87,10 @@ def main():
     headers_digest = headers.hexdigest()
 
     def key_for(entry):
+        # (tool version, .clang-tidy, project headers, source content,
+        # compiler invocation): a change to any of them re-lints the TU.
         h = hashlib.sha256()
+        h.update(tool_digest.encode())
         h.update(config_digest.encode())
         h.update(headers_digest.encode())
         h.update(file_digest(pathlib.Path(entry["file"])).encode())

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/hdidx_analyze.py (lite frontend).
+
+Each test writes a small C++ snippet into a temp repo layout, runs the
+analyzer on it, and asserts the exact rule and line of every expected
+diagnostic — proving each rule actually fires (and stays quiet on
+conforming code), not just that the real tree happens to be clean.
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = pathlib.Path(__file__).resolve().parent
+ANALYZER = TOOLS_DIR / "hdidx_analyze.py"
+
+
+def run_analyzer(root, extra_args=()):
+    proc = subprocess.run(
+        [sys.executable, str(ANALYZER), "--root", str(root),
+         "--frontend", "lite", *extra_args],
+        capture_output=True, text=True)
+    return proc
+
+
+class AnalyzerFixtureTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+        (self.root / "src").mkdir()
+        (self.root / "tools").mkdir()
+        # Default: empty allowlist (missing file is fine too).
+        self.write("tools/analyze_allowlist.txt", "")
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel, text):
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+    def assert_violation(self, proc, fragment):
+        self.assertEqual(proc.returncode, 1,
+                         f"expected a violation, got:\n{proc.stdout}"
+                         f"{proc.stderr}")
+        self.assertIn(fragment, proc.stdout)
+
+    def assert_clean(self, proc):
+        self.assertEqual(proc.returncode, 0,
+                         f"expected clean, got:\n{proc.stdout}{proc.stderr}")
+
+    # ---- rule: guarded ---------------------------------------------------
+
+    def test_guarded_unannotated_field_fires(self):
+        self.write("src/widget.h", """\
+#include <mutex>
+class Widget {
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+""")
+        proc = run_analyzer(self.root)
+        self.assert_violation(proc, "src/widget.h:5: guarded:")
+        self.assertIn("'count_'", proc.stdout)
+        self.assertIn("'Widget'", proc.stdout)
+
+    def test_guarded_annotated_and_exempt_fields_pass(self):
+        self.write("src/widget.h", """\
+class Widget {
+ private:
+  common::Mutex mu_;
+  int count_ HDIDX_GUARDED_BY(mu_) = 0;
+  HDIDX_UNGUARDED std::vector<int> startup_only_;
+  const size_t capacity_ = 8;
+  std::atomic<int> hits_{0};
+  CondVar cv_;
+};
+""")
+        self.assert_clean(run_analyzer(self.root))
+
+    def test_guarded_no_mutex_class_is_ignored(self):
+        self.write("src/plain.h", """\
+struct Plain {
+  int anything_goes = 0;
+};
+""")
+        self.assert_clean(run_analyzer(self.root))
+
+    def test_guarded_allowlist_suppresses(self):
+        self.write("src/widget.h", """\
+#include <mutex>
+class Widget {
+  std::mutex mu_;
+  int count_ = 0;
+};
+""")
+        self.write("tools/analyze_allowlist.txt",
+                   "guarded Widget::count_  # test exemption\n")
+        self.assert_clean(run_analyzer(self.root))
+
+    # ---- rule: phase -----------------------------------------------------
+
+    def test_phase_direct_call_fires(self):
+        self.write("src/paths.h", """\
+HDIDX_BUILD_ONLY void* Allocate(int bytes);
+HDIDX_CONCURRENT_READ int Find(int key);
+""")
+        self.write("src/paths.cc", """\
+int Find(int key) {
+  Allocate(8);
+  return key;
+}
+""")
+        proc = run_analyzer(self.root)
+        self.assert_violation(proc, "phase:")
+        self.assertIn("'Find' reaches", proc.stdout)
+        self.assertIn("'Allocate'", proc.stdout)
+        self.assertIn("Find -> Allocate", proc.stdout)
+
+    def test_phase_transitive_call_fires_with_chain(self):
+        self.write("src/paths.h", """\
+HDIDX_BUILD_ONLY void Mutate();
+HDIDX_CONCURRENT_READ int Query();
+""")
+        self.write("src/paths.cc", """\
+void Helper() { Mutate(); }
+int Query() { Helper(); return 0; }
+""")
+        proc = run_analyzer(self.root)
+        self.assert_violation(proc, "phase:")
+        self.assertIn("Query -> Helper -> Mutate", proc.stdout)
+
+    def test_phase_untagged_and_read_to_read_pass(self):
+        self.write("src/paths.h", """\
+HDIDX_BUILD_ONLY void Mutate();
+HDIDX_CONCURRENT_READ int Query();
+HDIDX_CONCURRENT_READ int Count();
+""")
+        self.write("src/paths.cc", """\
+void Builder() { Mutate(); }
+int Query() { return Count(); }
+int Count() { return 1; }
+""")
+        self.assert_clean(run_analyzer(self.root))
+
+    def test_phase_allowlist_suppresses_and_must_be_used(self):
+        self.write("src/paths.h", """\
+HDIDX_BUILD_ONLY void Mutate();
+HDIDX_CONCURRENT_READ int Query();
+""")
+        self.write("src/paths.cc", "int Query() { Mutate(); return 0; }\n")
+        self.write("tools/analyze_allowlist.txt",
+                   "phase Query->Mutate  # test exemption\n")
+        self.assert_clean(run_analyzer(self.root))
+
+    # ---- rule: switch ----------------------------------------------------
+
+    def test_switch_missing_enumerator_fires(self):
+        self.write("src/modes.cc", """\
+enum class Mode { kA, kB, kC };
+int Dispatch(Mode m) {
+  switch (m) {
+    case Mode::kA: return 1;
+    case Mode::kB: return 2;
+  }
+  return 0;
+}
+""")
+        proc = run_analyzer(self.root)
+        self.assert_violation(proc, "src/modes.cc:3: switch:")
+        self.assertIn("kC", proc.stdout)
+
+    def test_switch_default_fires(self):
+        self.write("src/modes.cc", """\
+enum class Mode { kA, kB };
+int Dispatch(Mode m) {
+  switch (m) {
+    case Mode::kA: return 1;
+    case Mode::kB: return 2;
+    default: return 0;
+  }
+}
+""")
+        proc = run_analyzer(self.root)
+        self.assert_violation(proc, "src/modes.cc:3: switch:")
+        self.assertIn("default", proc.stdout)
+
+    def test_switch_exhaustive_and_non_enum_pass(self):
+        self.write("src/modes.cc", """\
+enum class Mode { kA, kB };
+int Dispatch(Mode m, char c) {
+  switch (c) {
+    case 'x': return 9;
+    default: break;
+  }
+  switch (m) {
+    case Mode::kA: return 1;
+    case Mode::kB: return 2;
+  }
+  return 0;
+}
+""")
+        self.assert_clean(run_analyzer(self.root))
+
+    def test_switch_allowlist_suppresses(self):
+        self.write("src/modes.cc", """\
+enum class Mode { kA, kB };
+int Dispatch(Mode m) {
+  switch (m) {
+    case Mode::kA: return 1;
+    default: return 0;
+  }
+}
+""")
+        self.write("tools/analyze_allowlist.txt",
+                   "switch src/modes.cc:Mode  # test exemption\n")
+        self.assert_clean(run_analyzer(self.root))
+
+    # ---- rule: hygiene ---------------------------------------------------
+
+    def test_unused_allowlist_entry_fires(self):
+        self.write("src/empty.cc", "int F() { return 0; }\n")
+        self.write("tools/analyze_allowlist.txt",
+                   "guarded Nothing::nowhere_  # stale\n")
+        proc = run_analyzer(self.root)
+        self.assert_violation(proc, "hygiene:")
+        self.assertIn("guarded Nothing::nowhere_", proc.stdout)
+
+    # ---- end-to-end on this repository -----------------------------------
+
+    def test_real_tree_is_clean(self):
+        repo_root = TOOLS_DIR.parent
+        proc = run_analyzer(repo_root)
+        self.assert_clean(proc)
+        # The repo's contracts must actually be visible to the analyzer:
+        # a parser regression that drops all annotations would pass
+        # vacuously without this.
+        self.assertIn("functions", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
