@@ -6,11 +6,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <span>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "baselines/fractal.h"
@@ -25,7 +35,9 @@
 #include "index/bulk_loader.h"
 #include "index/knn.h"
 #include "index/topology.h"
+#include "service/async_server.h"
 #include "service/prediction_service.h"
+#include "service/wire.h"
 #include "workload/query_workload.h"
 
 namespace {
@@ -491,6 +503,178 @@ BENCHMARK(BM_ServiceBatch)
     ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
+
+// ---------------------------------------------------------------------------
+// Async-server saturation: an open-loop arrival sweep against the epoll
+// server over a real loopback socket, warm-cache requests so the measured
+// path is framing + queueing + serving, not prediction compute. Open-loop
+// means requests are sent on a fixed schedule whether or not earlier ones
+// completed — the honest way to find the knee, since a closed-loop client
+// self-throttles exactly when the server saturates. Per offered rate the
+// counters report achieved throughput, client-observed latency
+// percentiles, shed responses, and a `past_knee` marker (achieved < 90% of
+// offered). Quick scale: one pass per rate in CI; the sweep's shape (knee
+// between the low and high rates), not the absolute numbers, is the
+// portable signal.
+
+bool BenchSendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool BenchReadFrame(int fd, std::string* buffer,
+                    service::wire::FrameHeader* header, std::string* payload) {
+  namespace wire = service::wire;
+  while (true) {
+    size_t consumed = 0;
+    std::string_view view;
+    std::string error;
+    const wire::FrameStatus status =
+        wire::NextFrame(*buffer, wire::kDefaultMaxPayload, &consumed, header,
+                        &view, &error);
+    if (status == wire::FrameStatus::kError) return false;
+    if (status == wire::FrameStatus::kFrame) {
+      payload->assign(view);
+      buffer->erase(0, consumed);
+      return true;
+    }
+    char chunk[1 << 16];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void BM_ServiceSaturation(benchmark::State& state) {
+  namespace wire = service::wire;
+  using Clock = std::chrono::steady_clock;
+  const double offered_rps = static_cast<double>(state.range(0));
+  constexpr size_t kRequestsPerPass = 64;
+
+  service::PredictionService& svc = SweepService();
+  svc.ClearCaches();
+  // Every request in the open-loop stream cycles through this batch, so
+  // one warm pass makes the serving path pure cache hits.
+  const auto batch = ServiceBatch();
+  benchmark::DoNotOptimize(svc.ProcessBatch(batch));
+
+  service::AsyncServerOptions options;
+  options.shard_queue_capacity = 16;
+  service::AsyncServer server(&svc, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = wire::HostToNet16(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) != 0) {
+    state.SkipWithError("cannot connect to the bench server");
+    server.Stop();
+    server.Wait();
+    return;
+  }
+
+  // Pre-encode the stream; ids are 1-based indices so the reader can map a
+  // response back to its send timestamp.
+  std::vector<std::string> frames(kRequestsPerPass);
+  for (size_t i = 0; i < kRequestsPerPass; ++i) {
+    service::ServiceRequest request = batch[i % batch.size()];
+    request.id = i + 1;
+    frames[i] = wire::EncodePredictRequest(request);
+  }
+
+  std::vector<double> latencies_ms;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  double elapsed_s = 0.0;
+  for (auto _ : state) {
+    // Send timestamps as atomic ns-since-start: written by the sender,
+    // read by the reader once the matching response arrives.
+    std::vector<std::atomic<int64_t>> sent_at_ns(kRequestsPerPass + 1);
+    const auto start = Clock::now();
+    const auto interval =
+        std::chrono::duration<double>(1.0 / offered_rps);
+    // Open-loop sender: fixed schedule, deaf to completions.
+    std::thread sender([&] {
+      for (size_t i = 0; i < kRequestsPerPass; ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(
+                        interval * static_cast<double>(i)));
+        sent_at_ns[i + 1].store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count(),
+            std::memory_order_release);
+        BenchSendAll(fd, frames[i]);
+      }
+    });
+    std::string buffer;
+    for (size_t i = 0; i < kRequestsPerPass; ++i) {
+      wire::FrameHeader header;
+      std::string payload;
+      if (!BenchReadFrame(fd, &buffer, &header, &payload)) break;
+      const auto now = Clock::now();
+      if ((header.flags & wire::kFlagShed) != 0) {
+        ++shed;
+        continue;
+      }
+      ++completed;
+      if (header.id >= 1 && header.id <= kRequestsPerPass) {
+        const int64_t sent_ns =
+            sent_at_ns[header.id].load(std::memory_order_acquire);
+        const int64_t now_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+                .count();
+        latencies_ms.push_back(static_cast<double>(now_ns - sent_ns) / 1e6);
+      }
+    }
+    sender.join();
+    elapsed_s +=
+        std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  close(fd);
+  server.Stop();
+  server.Wait();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto percentile = [&](double q) {
+    if (latencies_ms.empty()) return 0.0;
+    const size_t index = static_cast<size_t>(
+        q * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[index];
+  };
+  const double achieved_rps =
+      elapsed_s > 0.0 ? static_cast<double>(completed) / elapsed_s : 0.0;
+  state.counters["offered_rps"] = offered_rps;
+  state.counters["achieved_rps"] = achieved_rps;
+  state.counters["latency_p50_ms"] = percentile(0.50);
+  state.counters["latency_p90_ms"] = percentile(0.90);
+  state.counters["latency_p99_ms"] = percentile(0.99);
+  state.counters["shed"] = static_cast<double>(shed);
+  state.counters["past_knee"] =
+      achieved_rps < 0.9 * offered_rps ? 1.0 : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+}
+BENCHMARK(BM_ServiceSaturation)
+    ->Arg(200)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 

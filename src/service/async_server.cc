@@ -1,0 +1,832 @@
+#include "service/async_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace hdidx::service {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message + ": " + std::strerror(errno);
+  return false;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+}
+
+void WakeEventFd(int fd) {
+  const uint64_t one = 1;
+  // An eventfd write only fails if the counter would overflow, in which
+  // case the reader is already signaled — safe to ignore.
+  (void)!::write(fd, &one, sizeof(one));
+}
+
+void DrainEventFd(int fd) {
+  uint64_t value = 0;
+  while (::read(fd, &value, sizeof(value)) > 0) {
+  }
+}
+
+/// One accepted socket. The reactor that owns the connection is the only
+/// thread that reads it and the only thread that writes the fd; shard
+/// workers hand response bytes over through the mutex-guarded outbound
+/// buffer and an eventfd nudge.
+struct Connection {
+  Connection(int fd_in, size_t reactor_in) : fd(fd_in), reactor(reactor_in) {}
+
+  const int fd;
+  /// Index of the owning reactor (fixed at accept time).
+  const size_t reactor;
+
+  common::Mutex mu;
+  /// Bytes awaiting write; [out_offset, size) is the undrained suffix.
+  std::string outbound HDIDX_GUARDED_BY(mu);
+  size_t out_offset HDIDX_GUARDED_BY(mu) = 0;
+  bool closed HDIDX_GUARDED_BY(mu) = false;
+  bool close_after_flush HDIDX_GUARDED_BY(mu) = false;
+
+  /// Read/framing state, touched only by the owning reactor thread.
+  std::string inbound HDIDX_UNGUARDED;
+  /// Epoll interest currently registered — owning reactor only.
+  uint32_t armed_events HDIDX_UNGUARDED = 0;
+  bool reading_paused HDIDX_UNGUARDED = false;
+};
+
+/// A predict waiting for its shard worker.
+struct QueueItem {
+  std::shared_ptr<Connection> conn;
+  ServiceRequest request;
+  bool per_query = false;
+};
+
+/// Bounded admission queue in front of one shard worker. TryPush refuses
+/// (and counts a shed) at capacity; Pause/WaitIdle quiesce the worker for
+/// registry loads and the deterministic backpressure tests.
+class ShardQueue {
+ public:
+  explicit ShardQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// False (shed counted) when the queue is at capacity.
+  bool TryPush(QueueItem item) {
+    common::MutexLock lock(&mu_);
+    if (items_.size() >= capacity_) {
+      ++shed_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+    cv_.NotifyAll();
+    return true;
+  }
+
+  /// Blocks for the next item; false once Shutdown() was called. The
+  /// caller must FinishItem() after serving each popped item.
+  bool Pop(QueueItem* out) {
+    common::MutexLock lock(&mu_);
+    while (shutdown_ ? false : (paused_ || items_.empty())) {
+      cv_.Wait(mu_);
+    }
+    if (shutdown_) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    ++active_;
+    return true;
+  }
+
+  void FinishItem() {
+    common::MutexLock lock(&mu_);
+    --active_;
+    cv_.NotifyAll();
+  }
+
+  void Shutdown() {
+    common::MutexLock lock(&mu_);
+    shutdown_ = true;
+    cv_.NotifyAll();
+  }
+
+  void Pause() {
+    common::MutexLock lock(&mu_);
+    paused_ = true;
+  }
+
+  void Resume() {
+    common::MutexLock lock(&mu_);
+    paused_ = false;
+    cv_.NotifyAll();
+  }
+
+  /// Blocks until nothing is queued or being served (responses for all
+  /// admitted requests are buffered on their connections by then).
+  void WaitIdle() {
+    common::MutexLock lock(&mu_);
+    while (!items_.empty() || active_ != 0) cv_.Wait(mu_);
+  }
+
+  size_t depth() const {
+    common::MutexLock lock(&mu_);
+    return items_.size();
+  }
+  size_t peak_depth() const {
+    common::MutexLock lock(&mu_);
+    return peak_depth_;
+  }
+  uint64_t shed() const {
+    common::MutexLock lock(&mu_);
+    return shed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::deque<QueueItem> items_ HDIDX_GUARDED_BY(mu_);
+  size_t active_ HDIDX_GUARDED_BY(mu_) = 0;
+  size_t peak_depth_ HDIDX_GUARDED_BY(mu_) = 0;
+  uint64_t shed_ HDIDX_GUARDED_BY(mu_) = 0;
+  bool paused_ HDIDX_GUARDED_BY(mu_) = false;
+  bool shutdown_ HDIDX_GUARDED_BY(mu_) = false;
+};
+
+/// One epoll event loop. `conns` is owned by the loop thread; other
+/// threads communicate through the inbox + eventfd.
+struct Reactor {
+  Reactor(int epoll_fd_in, int wake_fd_in)
+      : epoll_fd(epoll_fd_in), wake_fd(wake_fd_in) {}
+
+  const int epoll_fd;
+  const int wake_fd;
+
+  /// Live connections by fd — owning reactor thread only.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns HDIDX_UNGUARDED;
+
+  common::Mutex inbox_mu;
+  std::vector<std::shared_ptr<Connection>> pending_adds
+      HDIDX_GUARDED_BY(inbox_mu);
+  std::vector<std::shared_ptr<Connection>> pending_flushes
+      HDIDX_GUARDED_BY(inbox_mu);
+};
+
+}  // namespace
+
+class AsyncServer::Impl {
+ public:
+  Impl(PredictionService* service, const AsyncServerOptions& options)
+      : service_(service), options_(options) {}
+
+  ~Impl() {
+    Stop();
+    JoinAll();
+  }
+
+  bool Start(std::string* error);
+  uint64_t Wait();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  ServiceMetrics MetricsSnapshot() const;
+  void PauseServing();
+  void ResumeServing();
+
+ private:
+  void AcceptLoop();
+  void ReactorLoop(size_t index);
+  void WorkerLoop(size_t shard);
+
+  void HandleInbox(Reactor& r);
+  void ReadConnection(Reactor& r, const std::shared_ptr<Connection>& conn);
+  void ProcessInbound(Reactor& r, const std::shared_ptr<Connection>& conn);
+  void HandleFrame(Reactor& r, const std::shared_ptr<Connection>& conn,
+                   const wire::FrameHeader& header, std::string_view payload);
+  void HandleLoad(Reactor& r, const std::shared_ptr<Connection>& conn,
+                  uint64_t id, const RequestLine& request);
+  void HandleShutdown(Reactor& r, const std::shared_ptr<Connection>& conn,
+                      uint64_t id);
+
+  /// Appends bytes on the reactor's own thread and flushes immediately.
+  void ReactorSend(Reactor& r, const std::shared_ptr<Connection>& conn,
+                   std::string frame, bool close_after = false);
+  /// Appends bytes from a shard worker and nudges the owning reactor.
+  void SendFromWorker(const std::shared_ptr<Connection>& conn,
+                      std::string frame);
+  void FlushConnection(Reactor& r, const std::shared_ptr<Connection>& conn);
+  void UpdateInterest(Reactor& r, const std::shared_ptr<Connection>& conn,
+                      bool want_write, size_t pending_bytes);
+  void CloseConnection(Reactor& r, const std::shared_ptr<Connection>& conn);
+  void CleanupReactor(Reactor& r);
+  void JoinAll();
+  void CloseFds();
+
+  static bool IsClosed(const std::shared_ptr<Connection>& conn) {
+    common::MutexLock lock(&conn->mu);
+    return conn->closed;
+  }
+
+  PredictionService* const service_;
+  const AsyncServerOptions options_;
+
+  /// Sockets and thread/queue containers are created in Start() before
+  /// any server thread exists and are structurally immutable afterwards.
+  int listen_fd_ HDIDX_UNGUARDED = -1;
+  int accept_epoll_ HDIDX_UNGUARDED = -1;
+  int accept_wake_ HDIDX_UNGUARDED = -1;
+  uint16_t port_ HDIDX_UNGUARDED = 0;
+  std::vector<std::unique_ptr<Reactor>> reactors_ HDIDX_UNGUARDED;
+  std::vector<std::unique_ptr<ShardQueue>> queues_ HDIDX_UNGUARDED;
+  std::vector<std::thread> threads_ HDIDX_UNGUARDED;
+  /// Acceptor-thread-owned round-robin cursor.
+  size_t next_reactor_ HDIDX_UNGUARDED = 0;
+
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> joined_{false};
+
+  common::Mutex state_mu_;
+  common::CondVar state_cv_;
+  bool stop_requested_ HDIDX_GUARDED_BY(state_mu_) = false;
+
+  /// Serializes registry mutation (the `load` op) across reactors.
+  common::Mutex load_mu_;
+};
+
+bool AsyncServer::Impl::Start(std::string* error) {
+  HDIDX_CHECK(threads_.empty()) << "Start() called twice";
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Fail(error, "socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = wire::HostToNet16(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host address: " + options_.host;
+    CloseFds();
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const bool ok = Fail(error, "bind " + options_.host + ":" +
+                                    std::to_string(options_.port));
+    CloseFds();
+    return ok;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const bool ok = Fail(error, "listen");
+    CloseFds();
+    return ok;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const bool ok = Fail(error, "getsockname");
+    CloseFds();
+    return ok;
+  }
+  // HostToNet16 is an involution, so it also converts net->host.
+  port_ = wire::HostToNet16(bound.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  accept_epoll_ = ::epoll_create1(0);
+  accept_wake_ = ::eventfd(0, EFD_NONBLOCK);
+  if (accept_epoll_ < 0 || accept_wake_ < 0) {
+    const bool ok = Fail(error, "epoll/eventfd");
+    CloseFds();
+    return ok;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(accept_epoll_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = accept_wake_;
+  ::epoll_ctl(accept_epoll_, EPOLL_CTL_ADD, accept_wake_, &ev);
+
+  const size_t num_reactors = std::max<size_t>(1, options_.num_reactors);
+  reactors_.reserve(num_reactors);
+  for (size_t i = 0; i < num_reactors; ++i) {
+    const int epoll_fd = ::epoll_create1(0);
+    const int wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (epoll_fd < 0 || wake_fd < 0) {
+      const bool ok = Fail(error, "reactor epoll/eventfd");
+      CloseFds();
+      return ok;
+    }
+    epoll_event wake_ev{};
+    wake_ev.events = EPOLLIN;
+    wake_ev.data.fd = wake_fd;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &wake_ev);
+    reactors_.push_back(std::make_unique<Reactor>(epoll_fd, wake_fd));
+  }
+
+  const size_t num_shards = service_->num_shards();
+  queues_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    queues_.push_back(std::make_unique<ShardQueue>(
+        std::max<size_t>(1, options_.shard_queue_capacity)));
+  }
+
+  threads_.emplace_back([this] { AcceptLoop(); });
+  for (size_t i = 0; i < num_reactors; ++i) {
+    threads_.emplace_back([this, i] { ReactorLoop(i); });
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    threads_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+  return true;
+}
+
+uint64_t AsyncServer::Impl::Wait() {
+  {
+    common::MutexLock lock(&state_mu_);
+    while (!stop_requested_) state_cv_.Wait(state_mu_);
+  }
+  JoinAll();
+  return served();
+}
+
+void AsyncServer::Impl::Stop() {
+  {
+    common::MutexLock lock(&state_mu_);
+    if (stop_requested_) return;
+    stop_requested_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  for (auto& queue : queues_) queue->Shutdown();
+  if (accept_wake_ >= 0) WakeEventFd(accept_wake_);
+  for (auto& reactor : reactors_) WakeEventFd(reactor->wake_fd);
+  {
+    common::MutexLock lock(&state_mu_);
+    state_cv_.NotifyAll();
+  }
+}
+
+void AsyncServer::Impl::JoinAll() {
+  if (joined_.exchange(true)) return;
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  CloseFds();
+}
+
+void AsyncServer::Impl::CloseFds() {
+  for (auto& reactor : reactors_) {
+    if (reactor->epoll_fd >= 0) ::close(reactor->epoll_fd);
+    if (reactor->wake_fd >= 0) ::close(reactor->wake_fd);
+  }
+  reactors_.clear();
+  if (accept_epoll_ >= 0) ::close(accept_epoll_);
+  if (accept_wake_ >= 0) ::close(accept_wake_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  accept_epoll_ = accept_wake_ = listen_fd_ = -1;
+}
+
+ServiceMetrics AsyncServer::Impl::MetricsSnapshot() const {
+  ServiceMetrics m = service_->Metrics();
+  HDIDX_DCHECK(m.shards.size() == queues_.size());
+  uint64_t shed_total = 0;
+  for (size_t s = 0; s < queues_.size() && s < m.shards.size(); ++s) {
+    m.shards[s].queue_depth = queues_[s]->depth();
+    m.shards[s].peak_queue_depth = queues_[s]->peak_depth();
+    m.shards[s].shed = queues_[s]->shed();
+    shed_total += m.shards[s].shed;
+  }
+  m.shed_total = shed_total;
+  return m;
+}
+
+void AsyncServer::Impl::PauseServing() {
+  for (auto& queue : queues_) queue->Pause();
+}
+
+void AsyncServer::Impl::ResumeServing() {
+  for (auto& queue : queues_) queue->Resume();
+}
+
+void AsyncServer::Impl::AcceptLoop() {
+  epoll_event events[8];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(accept_epoll_, events, 8, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == accept_wake_) {
+        DrainEventFd(accept_wake_);
+        continue;
+      }
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        SetNonBlocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        const size_t index = next_reactor_ % reactors_.size();
+        ++next_reactor_;
+        auto conn = std::make_shared<Connection>(fd, index);
+        Reactor& r = *reactors_[index];
+        {
+          common::MutexLock lock(&r.inbox_mu);
+          r.pending_adds.push_back(std::move(conn));
+        }
+        WakeEventFd(r.wake_fd);
+      }
+    }
+  }
+}
+
+void AsyncServer::Impl::ReactorLoop(size_t index) {
+  Reactor& r = *reactors_[index];
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(r.epoll_fd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == r.wake_fd) {
+        DrainEventFd(r.wake_fd);
+        HandleInbox(r);
+        continue;
+      }
+      const auto it = r.conns.find(events[i].data.fd);
+      if (it == r.conns.end()) continue;
+      // Copy: handlers may erase the map entry.
+      const std::shared_ptr<Connection> conn = it->second;
+      const uint32_t mask = events[i].events;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(r, conn);
+        continue;
+      }
+      if ((mask & EPOLLOUT) != 0) FlushConnection(r, conn);
+      if ((mask & EPOLLIN) != 0) ReadConnection(r, conn);
+    }
+  }
+  CleanupReactor(r);
+}
+
+void AsyncServer::Impl::WorkerLoop(size_t shard) {
+  ShardQueue& queue = *queues_[shard];
+  QueueItem item;
+  while (queue.Pop(&item)) {
+    const ServiceResponse response =
+        service_->ServeOnShard(shard, item.request);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    SendFromWorker(item.conn, wire::EncodePredictResponse(response,
+                                                          item.per_query));
+    queue.FinishItem();
+    // Drop the connection reference before blocking on the next item.
+    item = QueueItem{};
+  }
+}
+
+void AsyncServer::Impl::HandleInbox(Reactor& r) {
+  std::vector<std::shared_ptr<Connection>> adds;
+  std::vector<std::shared_ptr<Connection>> flushes;
+  {
+    common::MutexLock lock(&r.inbox_mu);
+    adds.swap(r.pending_adds);
+    flushes.swap(r.pending_flushes);
+  }
+  for (auto& conn : adds) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+      ::close(conn->fd);
+      continue;
+    }
+    conn->armed_events = EPOLLIN;
+    r.conns.emplace(conn->fd, std::move(conn));
+  }
+  for (auto& conn : flushes) {
+    if (r.conns.count(conn->fd) != 0) FlushConnection(r, conn);
+  }
+}
+
+void AsyncServer::Impl::ReadConnection(
+    Reactor& r, const std::shared_ptr<Connection>& conn) {
+  char buffer[64 * 1024];
+  bool peer_done = false;
+  while (!conn->reading_paused) {
+    const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn->inbound.append(buffer, static_cast<size_t>(n));
+      ProcessInbound(r, conn);
+      if (r.conns.count(conn->fd) == 0) return;  // handler closed it
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    peer_done = true;  // EOF or hard error
+    break;
+  }
+  if (peer_done) CloseConnection(r, conn);
+}
+
+void AsyncServer::Impl::ProcessInbound(
+    Reactor& r, const std::shared_ptr<Connection>& conn) {
+  size_t offset = 0;
+  bool poisoned = false;
+  bool done = false;
+  while (!done) {
+    wire::FrameHeader header;
+    std::string_view payload;
+    std::string error;
+    size_t consumed = 0;
+    const std::string_view rest(conn->inbound.data() + offset,
+                                conn->inbound.size() - offset);
+    const wire::FrameStatus status =
+        wire::NextFrame(rest, options_.max_frame_payload, &consumed, &header,
+                        &payload, &error);
+    switch (status) {
+      case wire::FrameStatus::kNeedMore:
+        done = true;
+        break;
+      case wire::FrameStatus::kFrame:
+        offset += consumed;
+        HandleFrame(r, conn, header, payload);
+        if (r.conns.count(conn->fd) == 0 || IsClosed(conn)) {
+          done = true;
+        }
+        break;
+      case wire::FrameStatus::kError:
+        // Framing is lost: answer with one protocol-error frame and close
+        // once it is flushed. Nothing after this point is parseable.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        ReactorSend(r, conn, wire::EncodeErrorFrame(0, error),
+                    /*close_after=*/true);
+        poisoned = true;
+        done = true;
+        break;
+    }
+  }
+  if (poisoned) {
+    conn->inbound.clear();
+  } else if (offset > 0) {
+    conn->inbound.erase(0, offset);
+  }
+}
+
+void AsyncServer::Impl::HandleFrame(Reactor& r,
+                                    const std::shared_ptr<Connection>& conn,
+                                    const wire::FrameHeader& header,
+                                    std::string_view payload) {
+  RequestLine request;
+  std::string error;
+  if (!wire::DecodeRequest(header, payload, &request, &error)) {
+    // The frame boundary was sound, so the stream stays usable: report
+    // against this id and keep serving the connection.
+    ReactorSend(r, conn, wire::EncodeErrorFrame(header.id, error));
+    return;
+  }
+  switch (request.op) {
+    case RequestLine::Op::kPredict: {
+      const size_t shard =
+          service_->registry().ShardOf(request.predict.dataset);
+      QueueItem item;
+      item.conn = conn;
+      item.request = request.predict;
+      item.per_query = request.predict.per_query;
+      if (!queues_[shard]->TryPush(std::move(item))) {
+        ReactorSend(r, conn,
+                    wire::EncodeShedResponse(
+                        header.id, static_cast<uint32_t>(shard),
+                        options_.retry_after_ms));
+      }
+      break;
+    }
+    case RequestLine::Op::kLoad:
+      HandleLoad(r, conn, header.id, request);
+      break;
+    case RequestLine::Op::kStats:
+      ReactorSend(r, conn,
+                  wire::EncodeStatsResponse(header.id, MetricsSnapshot()));
+      break;
+    case RequestLine::Op::kShutdown:
+      HandleShutdown(r, conn, header.id);
+      break;
+  }
+}
+
+void AsyncServer::Impl::HandleLoad(Reactor& r,
+                                   const std::shared_ptr<Connection>& conn,
+                                   uint64_t id, const RequestLine& request) {
+  wire::LoadResult result;
+  result.dataset = request.load_dataset;
+  {
+    // Registry mutation is HDIDX_BUILD_ONLY: park every shard worker and
+    // wait out in-flight serves so no Find() races the load. Other
+    // reactors keep accepting (their predicts queue up, or shed when the
+    // paused queues fill) — only serving pauses, briefly.
+    common::MutexLock lock(&load_mu_);
+    for (auto& queue : queues_) queue->Pause();
+    for (auto& queue : queues_) queue->WaitIdle();
+    std::string load_error;
+    result.ok = service_->registry().LoadFile(request.load_dataset,
+                                              request.load_path, &load_error);
+    if (result.ok) {
+      const data::Dataset* dataset =
+          service_->registry().Find(request.load_dataset);
+      result.points = dataset->size();
+      result.dims = static_cast<uint32_t>(dataset->dim());
+      result.shard = static_cast<uint32_t>(
+          service_->registry().ShardOf(request.load_dataset));
+    } else {
+      result.error = load_error;
+    }
+    for (auto& queue : queues_) queue->Resume();
+  }
+  ReactorSend(r, conn, wire::EncodeLoadResponse(id, result));
+}
+
+void AsyncServer::Impl::HandleShutdown(
+    Reactor& r, const std::shared_ptr<Connection>& conn, uint64_t id) {
+  // Drain first so every admitted predict's response is buffered on its
+  // connection before the ack — a pipelined client that reads to the ack
+  // has, by then, every response it was owed.
+  for (auto& queue : queues_) queue->WaitIdle();
+  ReactorSend(r, conn, wire::EncodeShutdownResponse(
+                           id, served_.load(std::memory_order_relaxed)));
+  Stop();
+}
+
+void AsyncServer::Impl::ReactorSend(Reactor& r,
+                                    const std::shared_ptr<Connection>& conn,
+                                    std::string frame, bool close_after) {
+  {
+    common::MutexLock lock(&conn->mu);
+    if (conn->closed) return;
+    conn->outbound.append(frame);
+    if (close_after) conn->close_after_flush = true;
+  }
+  FlushConnection(r, conn);
+}
+
+void AsyncServer::Impl::SendFromWorker(
+    const std::shared_ptr<Connection>& conn, std::string frame) {
+  bool was_drained = false;
+  {
+    common::MutexLock lock(&conn->mu);
+    if (conn->closed) return;
+    was_drained = conn->out_offset == conn->outbound.size();
+    conn->outbound.append(frame);
+  }
+  if (was_drained) {
+    // First bytes since the last full drain: the reactor has neither
+    // EPOLLOUT armed nor a flush pending, so nudge it.
+    Reactor& r = *reactors_[conn->reactor];
+    {
+      common::MutexLock lock(&r.inbox_mu);
+      r.pending_flushes.push_back(conn);
+    }
+    WakeEventFd(r.wake_fd);
+  }
+}
+
+void AsyncServer::Impl::FlushConnection(
+    Reactor& r, const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  bool want_write = false;
+  size_t pending = 0;
+  {
+    common::MutexLock lock(&conn->mu);
+    if (conn->closed) return;
+    while (conn->out_offset < conn->outbound.size()) {
+      const ssize_t n =
+          ::write(conn->fd, conn->outbound.data() + conn->out_offset,
+                  conn->outbound.size() - conn->out_offset);
+      if (n > 0) {
+        conn->out_offset += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_now = true;  // peer vanished mid-write
+      break;
+    }
+    if (!close_now) {
+      if (conn->out_offset == conn->outbound.size()) {
+        conn->outbound.clear();
+        conn->out_offset = 0;
+        if (conn->close_after_flush) close_now = true;
+      } else {
+        want_write = true;
+      }
+      pending = conn->outbound.size() - conn->out_offset;
+    }
+  }
+  if (close_now) {
+    CloseConnection(r, conn);
+    return;
+  }
+  UpdateInterest(r, conn, want_write, pending);
+}
+
+void AsyncServer::Impl::UpdateInterest(
+    Reactor& r, const std::shared_ptr<Connection>& conn, bool want_write,
+    size_t pending_bytes) {
+  // Backpressure: a peer that stops reading accumulates outbound bytes;
+  // past the limit we stop reading *it* until its buffer fully drains, so
+  // a slow consumer cannot pin unbounded response memory.
+  if (pending_bytes > options_.write_buffer_limit) {
+    conn->reading_paused = true;
+  } else if (pending_bytes == 0) {
+    conn->reading_paused = false;
+  }
+  const uint32_t wanted = (conn->reading_paused ? 0u : EPOLLIN) |
+                          (want_write ? EPOLLOUT : 0u);
+  if (wanted == conn->armed_events) return;
+  epoll_event ev{};
+  ev.events = wanted;
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->armed_events = wanted;
+  }
+}
+
+void AsyncServer::Impl::CloseConnection(
+    Reactor& r, const std::shared_ptr<Connection>& conn) {
+  const auto it = r.conns.find(conn->fd);
+  if (it == r.conns.end()) return;  // already closed
+  {
+    common::MutexLock lock(&conn->mu);
+    conn->closed = true;
+  }
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  r.conns.erase(it);
+}
+
+void AsyncServer::Impl::CleanupReactor(Reactor& r) {
+  // Deliver what is already buffered (e.g. the shutdown ack) with a final
+  // blocking flush, then close everything.
+  for (auto& [fd, conn] : r.conns) {
+    common::MutexLock lock(&conn->mu);
+    conn->closed = true;
+    SetBlocking(fd);
+    while (conn->out_offset < conn->outbound.size()) {
+      const ssize_t n =
+          ::write(fd, conn->outbound.data() + conn->out_offset,
+                  conn->outbound.size() - conn->out_offset);
+      if (n <= 0) break;
+      conn->out_offset += static_cast<size_t>(n);
+    }
+    ::close(fd);
+  }
+  r.conns.clear();
+}
+
+AsyncServer::AsyncServer(PredictionService* service,
+                         const AsyncServerOptions& options)
+    : impl_(std::make_unique<Impl>(service, options)) {}
+
+AsyncServer::~AsyncServer() = default;
+
+bool AsyncServer::Start(std::string* error) { return impl_->Start(error); }
+uint16_t AsyncServer::port() const { return impl_->port(); }
+uint64_t AsyncServer::Wait() { return impl_->Wait(); }
+void AsyncServer::Stop() { impl_->Stop(); }
+uint64_t AsyncServer::served() const { return impl_->served(); }
+ServiceMetrics AsyncServer::MetricsSnapshot() const {
+  return impl_->MetricsSnapshot();
+}
+void AsyncServer::PauseServingForTest() { impl_->PauseServing(); }
+void AsyncServer::ResumeServingForTest() { impl_->ResumeServing(); }
+
+}  // namespace hdidx::service

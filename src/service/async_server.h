@@ -1,0 +1,101 @@
+#ifndef HDIDX_SERVICE_ASYNC_SERVER_H_
+#define HDIDX_SERVICE_ASYNC_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/prediction_service.h"
+#include "service/wire.h"
+
+namespace hdidx::service {
+
+/// Tuning knobs for the event-driven server.
+struct AsyncServerOptions {
+  /// IPv4 address to bind (dotted quad).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Event-loop threads connections are round-robined across.
+  size_t num_reactors = 1;
+  /// Admission-control bound on each shard's request queue; a predict
+  /// arriving at a full queue is answered with a load-shed frame.
+  size_t shard_queue_capacity = 64;
+  /// Retry-after hint carried by load-shed responses.
+  uint32_t retry_after_ms = 50;
+  /// Largest accepted frame payload.
+  size_t max_frame_payload = wire::kDefaultMaxPayload;
+  /// Per-connection outbound high watermark: above this many buffered
+  /// bytes the reactor stops reading the connection (pipelining
+  /// backpressure) until the peer drains half of it.
+  size_t write_buffer_limit = 4u << 20;
+};
+
+/// Epoll-based binary-protocol front-end over a PredictionService.
+///
+/// Architecture: one non-blocking acceptor thread round-robins incoming
+/// connections across `num_reactors` epoll event loops; reactors read and
+/// frame requests (see wire.h) and enqueue predicts onto bounded per-shard
+/// queues drained by one worker thread per shard, which serves via
+/// PredictionService::ServeOnShard and hands the encoded response back to
+/// the owning reactor to write. Connections are fully pipelined: any
+/// number of in-flight requests, responses matched by frame id (responses
+/// may interleave across shards, not within one).
+///
+/// Admission control: a predict that finds its shard queue full is
+/// answered immediately with a kFlagShed frame carrying retry_after_ms;
+/// queue depth, peak depth, and shed counts surface per shard through the
+/// stats op. A connection whose outbound buffer passes write_buffer_limit
+/// stops being read until it drains — slow readers throttle themselves,
+/// not the server.
+///
+/// The deterministic payload of every predict response is bit-identical
+/// to what the JSON transport would serve for the same request (the
+/// service's determinism contract; doubles travel as raw IEEE-754 bits).
+class AsyncServer {
+ public:
+  /// `service` must outlive the server.
+  AsyncServer(PredictionService* service, const AsyncServerOptions& options);
+  ~AsyncServer();
+
+  AsyncServer(const AsyncServer&) = delete;
+  AsyncServer& operator=(const AsyncServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor/reactor/worker threads.
+  /// Returns false (with *error set) on socket failures.
+  bool Start(std::string* error);
+
+  /// The bound port (valid after Start; the actual port when options.port
+  /// was 0).
+  uint16_t port() const;
+
+  /// Blocks until the server stops — via Stop() or a shutdown frame —
+  /// then joins all threads. Returns the number of predict responses
+  /// served (shed responses excluded), matching the JSON loop's count.
+  uint64_t Wait();
+
+  /// Signals the server to stop; safe from any thread (including a
+  /// reactor). Threads are joined by Wait() or the destructor.
+  void Stop();
+
+  /// Predict responses served so far (shed responses excluded).
+  uint64_t served() const;
+
+  /// Service metrics plus this server's per-shard queue-depth / peak /
+  /// shed gauges and the shed total.
+  ServiceMetrics MetricsSnapshot() const;
+
+  /// Test seam: parks every shard worker so queued requests accumulate —
+  /// with traffic `shard_queue_capacity + K` deep, exactly K predicts are
+  /// shed, deterministically. Also the quiesce mechanism behind `load`.
+  void PauseServingForTest();
+  void ResumeServingForTest();
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hdidx::service
+
+#endif  // HDIDX_SERVICE_ASYNC_SERVER_H_

@@ -5,8 +5,11 @@
 #include <thread>
 #include <utility>
 
+#include "common/check.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "core/cutoff.h"
 #include "core/hupper.h"
 #include "core/mini_index.h"
@@ -45,10 +48,14 @@ struct PredictionService::Shard {
         results(options.result_cache_entries),
         workloads(options.workload_cache_entries) {}
 
-  common::ThreadPool pool;
-  io::KeyedLruCache<ResultKey, core::PredictionResult> results;
-  io::KeyedLruCache<WorkloadKey, workload::QueryWorkload> workloads;
-  std::vector<double> latencies_ms;
+  /// Internally synchronized (its own job mutex + lock-free chunk claim).
+  common::ThreadPool pool HDIDX_UNGUARDED;
+  common::Mutex mu;
+  io::KeyedLruCache<ResultKey, core::PredictionResult> results
+      HDIDX_GUARDED_BY(mu);
+  io::KeyedLruCache<WorkloadKey, workload::QueryWorkload> workloads
+      HDIDX_GUARDED_BY(mu);
+  std::vector<double> latencies_ms HDIDX_GUARDED_BY(mu);
 };
 
 PredictionService::PredictionService(const ServiceOptions& options)
@@ -69,8 +76,29 @@ size_t PredictionService::threads_per_shard() const {
   return shards_.front()->pool.num_threads();
 }
 
-ServiceResponse PredictionService::Serve(Shard* shard,
+ServiceResponse PredictionService::Serve(size_t shard_index,
                                          const ServiceRequest& request) {
+  Shard* shard = shards_[shard_index].get();
+  ServiceResponse response = Compute(shard, request);
+  response.shard = shard_index;
+  common::MutexLock lock(&shard->mu);
+  shard->latencies_ms.push_back(response.latency_ms);
+  return response;
+}
+
+ServiceResponse PredictionService::ServeOnShard(size_t shard_index,
+                                                const ServiceRequest& request) {
+  HDIDX_CHECK(shard_index == registry_.ShardOf(request.dataset))
+      << "request for '" << request.dataset << "' routed to wrong shard "
+      << shard_index;
+  ServiceResponse response = Serve(shard_index, request);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!response.ok) errors_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+ServiceResponse PredictionService::Compute(Shard* shard,
+                                           const ServiceRequest& request) {
   ServiceResponse response;
   response.id = request.id;
   const auto started = std::chrono::steady_clock::now();
@@ -92,7 +120,12 @@ ServiceResponse PredictionService::Serve(Shard* shard,
   }
 
   const ResultKey key = KeyOf(request);
-  if (const auto cached = shard->results.Get(key); cached != nullptr) {
+  std::shared_ptr<const core::PredictionResult> cached;
+  {
+    common::MutexLock lock(&shard->mu);
+    cached = shard->results.Get(key);
+  }
+  if (cached != nullptr) {
     // Warm path: the cached result was computed from exactly (request,
     // dataset), so returning it is bit-identical to recomputing — at zero
     // simulated I/O.
@@ -122,15 +155,21 @@ ServiceResponse PredictionService::Serve(Shard* shard,
   // across methods and memory budgets via the per-shard workload cache.
   const WorkloadKey wkey{request.dataset, request.num_queries, request.k,
                          request.seed};
-  std::shared_ptr<const workload::QueryWorkload> workload =
-      shard->workloads.Get(wkey);
+  std::shared_ptr<const workload::QueryWorkload> workload;
+  {
+    common::MutexLock lock(&shard->mu);
+    workload = shard->workloads.Get(wkey);
+  }
   if (workload != nullptr) {
     response.workload_cache_hit = true;
   } else {
+    // Created outside the shard mutex — two concurrent misses may both
+    // build; both arrive at the same bits, so last-Put-wins is harmless.
     common::Rng rng(request.seed);
     auto fresh = std::make_shared<workload::QueryWorkload>(
         workload::QueryWorkload::Create(*dataset, request.num_queries,
                                         request.k, &rng, ctx));
+    common::MutexLock lock(&shard->mu);
     shard->workloads.Put(wkey, fresh);
     workload = std::move(fresh);
   }
@@ -163,8 +202,11 @@ ServiceResponse PredictionService::Serve(Shard* shard,
   }
   response.ok = true;
   response.served_io = response.result.io;
-  shard->results.Put(key,
-                     std::make_shared<core::PredictionResult>(response.result));
+  {
+    common::MutexLock lock(&shard->mu);
+    shard->results.Put(
+        key, std::make_shared<core::PredictionResult>(response.result));
+  }
   response.latency_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - started)
                             .count();
@@ -175,7 +217,7 @@ std::vector<ServiceResponse> PredictionService::ProcessBatch(
     const std::vector<ServiceRequest>& requests) {
   std::vector<ServiceResponse> responses(requests.size());
   if (requests.empty()) {
-    ++batches_;
+    batches_.fetch_add(1, std::memory_order_relaxed);
     return responses;
   }
 
@@ -189,12 +231,8 @@ std::vector<ServiceResponse> PredictionService::ProcessBatch(
   // and fans out internally on its own pool. Responses land in their
   // original batch slots, so output order is arrival order.
   auto run_shard = [&](size_t s) {
-    Shard* shard = shards_[s].get();
     for (const size_t i : by_shard[s]) {
-      ServiceResponse response = Serve(shard, requests[i]);
-      response.shard = s;
-      shard->latencies_ms.push_back(response.latency_ms);
-      responses[i] = std::move(response);
+      responses[i] = Serve(s, requests[i]);
     }
   };
   std::vector<std::thread> workers;
@@ -209,10 +247,10 @@ std::vector<ServiceResponse> PredictionService::ProcessBatch(
   if (last_nonempty < shards_.size()) run_shard(last_nonempty);
   for (auto& w : workers) w.join();
 
-  ++batches_;
-  requests_ += requests.size();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(requests.size(), std::memory_order_relaxed);
   for (const auto& response : responses) {
-    if (!response.ok) ++errors_;
+    if (!response.ok) errors_.fetch_add(1, std::memory_order_relaxed);
   }
   return responses;
 }
@@ -223,14 +261,15 @@ ServiceResponse PredictionService::Process(const ServiceRequest& request) {
 
 ServiceMetrics PredictionService::Metrics() const {
   ServiceMetrics m;
-  m.requests = requests_;
-  m.batches = batches_;
-  m.errors = errors_;
+  m.requests = requests_.load(std::memory_order_relaxed);
+  m.batches = batches_.load(std::memory_order_relaxed);
+  m.errors = errors_.load(std::memory_order_relaxed);
   m.mean_batch_size =
-      batches_ == 0 ? 0.0
-                    : static_cast<double>(requests_) /
-                          static_cast<double>(batches_);
+      m.batches == 0 ? 0.0
+                     : static_cast<double>(m.requests) /
+                           static_cast<double>(m.batches);
   for (const auto& shard : shards_) {
+    common::MutexLock lock(&shard->mu);
     m.result_hits += shard->results.hits();
     m.result_misses += shard->results.misses();
     m.result_evictions += shard->results.evictions();
@@ -249,6 +288,7 @@ ServiceMetrics PredictionService::Metrics() const {
 
 void PredictionService::ClearCaches() {
   for (auto& shard : shards_) {
+    common::MutexLock lock(&shard->mu);
     shard->results.Clear();
     shard->workloads.Clear();
   }

@@ -1,6 +1,7 @@
 #ifndef HDIDX_SERVICE_PREDICTION_SERVICE_H_
 #define HDIDX_SERVICE_PREDICTION_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -81,12 +82,19 @@ struct ServiceMetrics {
   uint64_t workload_misses = 0;
   uint64_t workload_evictions = 0;
   double mean_batch_size = 0.0;
+  /// Requests refused by async admission control (always 0 for the
+  /// synchronous ProcessBatch path; filled in by AsyncServer).
+  uint64_t shed_total = 0;
 
   struct Shard {
     uint64_t requests = 0;
     double p50_ms = 0.0;
     double p90_ms = 0.0;
     double p99_ms = 0.0;
+    /// Async admission-queue gauges (0 on the synchronous path).
+    size_t queue_depth = 0;
+    size_t peak_queue_depth = 0;
+    uint64_t shed = 0;
   };
   std::vector<Shard> shards;
 };
@@ -119,9 +127,13 @@ struct ServiceOptions {
 /// bits for 1, 2, or N shards, for any arrival order, and whether it was
 /// computed cold or returned from cache.
 ///
-/// Thread-safety: ProcessBatch (and registry mutation) must be called from
-/// one control thread at a time; internal shard parallelism is the
-/// service's own.
+/// Thread-safety: each shard's caches and latency records are guarded by a
+/// per-shard mutex, and the global counters are atomic, so ServeOnShard may
+/// be called concurrently from any number of threads (the async server's
+/// per-shard workers). ProcessBatch remains a single-control-thread batch
+/// front-end (its internal shard fan-out is the service's own). Registry
+/// mutation (LoadFile/Add) must still be externally quiesced against
+/// in-flight serving — see DatasetRegistry's phase contract.
 class PredictionService {
  public:
   explicit PredictionService(const ServiceOptions& options);
@@ -145,6 +157,13 @@ class PredictionService {
   /// Convenience for single requests (a batch of one).
   ServiceResponse Process(const ServiceRequest& request);
 
+  /// Serves one request directly on shard `shard_index`, which must be
+  /// `registry().ShardOf(request.dataset)` (checked). Safe to call
+  /// concurrently; does not count toward batch statistics. This is the
+  /// async server's entry point — one call per dequeued request.
+  ServiceResponse ServeOnShard(size_t shard_index,
+                               const ServiceRequest& request);
+
   ServiceMetrics Metrics() const;
 
   /// Drops all cached artifacts (counters included); datasets stay loaded.
@@ -154,14 +173,19 @@ class PredictionService {
  private:
   struct Shard;
 
-  /// Computes or retrieves the response for one request on `shard`.
-  ServiceResponse Serve(Shard* shard, const ServiceRequest& request);
+  /// Computes or retrieves the response for one request on shard
+  /// `shard_index` and records its latency (thread-safe).
+  ServiceResponse Serve(size_t shard_index, const ServiceRequest& request);
+
+  /// The cache-or-compute body; takes the shard mutex only around cache
+  /// and latency accesses, never across a prediction.
+  ServiceResponse Compute(Shard* shard, const ServiceRequest& request);
 
   DatasetRegistry registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  uint64_t batches_ = 0;
-  uint64_t requests_ = 0;
-  uint64_t errors_ = 0;
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
 };
 
 }  // namespace hdidx::service

@@ -334,6 +334,7 @@ std::string SerializeMetrics(const ServiceMetrics& metrics) {
          std::to_string(metrics.workload_hits) +
          ",\"misses\":" + std::to_string(metrics.workload_misses) +
          ",\"evictions\":" + std::to_string(metrics.workload_evictions) + "}";
+  out += ",\"shed_total\":" + std::to_string(metrics.shed_total);
   out += ",\"shards\":[";
   for (size_t s = 0; s < metrics.shards.size(); ++s) {
     if (s != 0) out.push_back(',');
@@ -342,6 +343,9 @@ std::string SerializeMetrics(const ServiceMetrics& metrics) {
     out += ",\"p50_ms\":" + FormatDouble(shard.p50_ms);
     out += ",\"p90_ms\":" + FormatDouble(shard.p90_ms);
     out += ",\"p99_ms\":" + FormatDouble(shard.p99_ms);
+    out += ",\"queue_depth\":" + std::to_string(shard.queue_depth);
+    out += ",\"peak_queue_depth\":" + std::to_string(shard.peak_queue_depth);
+    out += ",\"shed\":" + std::to_string(shard.shed);
     out.push_back('}');
   }
   out += "]}";

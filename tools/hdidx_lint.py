@@ -33,6 +33,13 @@ compiler warning catches but that break the repo's standing contracts:
       compiled with per-file target flags; an intrinsic anywhere else either
       breaks non-x86 builds or silently compiles for the wrong target.
 
+  rule `byteswap` — raw byte-order code (htons/htonl/ntohs/ntohl,
+      __builtin_bswap*, std::byteswap) outside src/service/wire.{h,cc}.
+      The wire codec is the single place allowed to reason about byte
+      order; everything else goes through wire::Append*/WireReader (or
+      wire::HostToNet16 for sockaddr ports) so the frame format stays
+      pinned by one TU and its golden tests.
+
   rule `kernel-switch` — a `switch` dispatching on geometry::kernels::
       KernelMode must list every enumerator (kScalar, kGeneric, kAvx2,
       kAvx512, kNeon). A `default:` (or a dropped case) silences -Wswitch,
@@ -75,6 +82,19 @@ INTRINSIC_PATTERNS = [
 # The only directory allowed to contain raw intrinsics (self-guarded TUs
 # with per-file target flags).
 ISA_DIR = pathlib.PurePosixPath("src/geometry/isa")
+
+BYTESWAP_PATTERNS = [
+    (re.compile(r"\bhton[sl]\b"), "htons()/htonl()"),
+    (re.compile(r"\bntoh[sl]\b"), "ntohs()/ntohl()"),
+    (re.compile(r"\b__builtin_bswap(?:16|32|64)\b"), "__builtin_bswap*"),
+    (re.compile(r"\bstd::byteswap\b"), "std::byteswap"),
+]
+# The only files allowed to contain raw byte-order code (the wire codec,
+# whose layout is pinned by golden byte tests).
+WIRE_FILES = frozenset({
+    pathlib.PurePosixPath("src/service/wire.h"),
+    pathlib.PurePosixPath("src/service/wire.cc"),
+})
 
 KERNEL_ENUMERATORS = ("kScalar", "kGeneric", "kAvx2", "kAvx512", "kNeon")
 SWITCH_RE = re.compile(r"\bswitch\s*\(")
@@ -199,6 +219,7 @@ class Linter:
             self.check_guard(rel, raw, clean_lines)
         self.check_globals(rel, raw_lines, clean_lines)
         self.check_intrinsics(rel, clean_lines)
+        self.check_byteswaps(rel, clean_lines)
         self.check_kernel_switches(rel, clean)
 
     def check_patterns(self, rel, clean_lines):
@@ -231,6 +252,21 @@ class Linter:
                     self.report(rel, idx, "intrinsics",
                                 f"{label} outside src/geometry/isa/; per-ISA "
                                 "code belongs in the self-guarded kernel TUs")
+
+    def check_byteswaps(self, rel, clean_lines):
+        posix_rel = pathlib.PurePosixPath(rel.as_posix())
+        if posix_rel in WIRE_FILES:
+            return
+        if self.allowed("byteswap", rel):
+            return
+        for idx, line in enumerate(clean_lines, start=1):
+            for pattern, label in BYTESWAP_PATTERNS:
+                if pattern.search(line):
+                    self.report(rel, idx, "byteswap",
+                                f"{label} outside src/service/wire.*; byte "
+                                "order belongs to the wire codec — use "
+                                "wire::Append*/WireReader or "
+                                "wire::HostToNet16")
 
     def check_kernel_switches(self, rel, clean):
         if self.allowed("kernel-switch", rel):

@@ -1,18 +1,31 @@
-// hdidx_serve: a long-running sharded prediction server speaking
-// line-delimited JSON over stdin/stdout (see src/service/protocol.h).
+// hdidx_serve: a long-running sharded prediction server.
+//
+// Default transport: the epoll-based async server speaking the
+// length-prefixed binary wire protocol over TCP (see src/service/wire.h,
+// src/service/async_server.h). On startup it prints one JSON ready line
+// carrying the bound port, then serves until a shutdown frame:
+//   {"op":"ready","transport":"wire","port":43215,"shards":2,...}
+//
+// Debug transport: --json speaks the original line-delimited flat-JSON
+// protocol over stdin/stdout (see src/service/protocol.h) — handy for
+// manual sessions and `hdidx_client --json`.
 //
 // Usage:
 //   hdidx_serve [--shards 2] [--threads 8] [--cache-entries 64]
 //               [--workload-cache-entries 32]
 //               [--preload name=path[,name=path...]]
+//               [--port 0] [--host 127.0.0.1] [--reactors 1]
+//               [--queue-capacity 64] [--retry-after-ms 50]
+//               [--json]
 //
-// Datasets are loaded once (at startup via --preload, or at runtime via
-// {"op":"load",...}) and pinned; consecutive predict lines form a batch,
-// flushed by a blank line, a non-predict op, or EOF. Responses are one JSON
-// line each, in request order. {"op":"shutdown"} (or EOF) exits cleanly.
+// Datasets are loaded once (at startup via --preload, or at runtime via a
+// load request) and pinned. --port 0 binds an ephemeral port — read it
+// from the ready line. --queue-capacity bounds each shard's admission
+// queue; predicts beyond it are answered with load-shed frames carrying
+// the --retry-after-ms hint.
 //
-// Example session:
-//   $ hdidx_serve --shards 2 <<'EOF'
+// Example JSON session:
+//   $ hdidx_serve --shards 2 --json <<'EOF'
 //   {"op":"load","dataset":"d","path":"data.hdx"}
 //   {"op":"predict","dataset":"d","method":"resampled","memory":1000,"k":5}
 //   {"op":"predict","dataset":"d","method":"resampled","memory":1000,"k":5}
@@ -26,6 +39,7 @@
 #include <string>
 
 #include "flags.h"
+#include "service/async_server.h"
 #include "service/prediction_service.h"
 #include "service/protocol.h"
 #include "service/server.h"
@@ -33,13 +47,18 @@
 constexpr char kUsage[] =
     "usage: hdidx_serve [--shards N] [--threads T] [--cache-entries E]\n"
     "                   [--workload-cache-entries E]\n"
-    "                   [--preload name=path[,name=path...]]\n";
+    "                   [--preload name=path[,name=path...]]\n"
+    "                   [--port P] [--host H] [--reactors R]\n"
+    "                   [--queue-capacity C] [--retry-after-ms MS]\n"
+    "                   [--json]\n";
 
 int main(int argc, char** argv) {
   using namespace hdidx;
   const tools::Flags flags(argc, argv,
                            {"shards", "threads", "cache-entries",
-                            "workload-cache-entries", "preload"});
+                            "workload-cache-entries", "preload", "port",
+                            "host", "reactors", "queue-capacity",
+                            "retry-after-ms", "json"});
 
   service::ServiceOptions options;
   options.num_shards = flags.GetUint("shards", 1);
@@ -48,6 +67,14 @@ int main(int argc, char** argv) {
   options.workload_cache_entries =
       flags.GetUint("workload-cache-entries", 32);
   const std::string preload = flags.GetString("preload", "");
+  const bool json = flags.GetBool("json");
+  service::AsyncServerOptions async_options;
+  async_options.host = flags.GetString("host", "127.0.0.1");
+  async_options.port = static_cast<uint16_t>(flags.GetUint("port", 0));
+  async_options.num_reactors = flags.GetUint("reactors", 1);
+  async_options.shard_queue_capacity = flags.GetUint("queue-capacity", 64);
+  async_options.retry_after_ms =
+      static_cast<uint32_t>(flags.GetUint("retry-after-ms", 50));
   flags.ExitOnError(kUsage);
 
   service::PredictionService svc(options);
@@ -75,11 +102,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "{\"op\":\"ready\",\"shards\":" << svc.num_shards()
+  if (json) {
+    std::cout << "{\"op\":\"ready\",\"transport\":\"json\",\"shards\":"
+              << svc.num_shards()
+              << ",\"threads_per_shard\":" << svc.threads_per_shard()
+              << ",\"datasets\":" << svc.registry().size() << "}\n";
+    std::cout.flush();
+    service::RunServer(std::cin, std::cout, &svc);
+    return 0;
+  }
+
+  service::AsyncServer server(&svc, async_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::cout << "{\"op\":\"ready\",\"transport\":\"wire\",\"port\":"
+            << server.port() << ",\"shards\":" << svc.num_shards()
             << ",\"threads_per_shard\":" << svc.threads_per_shard()
             << ",\"datasets\":" << svc.registry().size() << "}\n";
   std::cout.flush();
-
-  service::RunServer(std::cin, std::cout, &svc);
+  server.Wait();
   return 0;
 }

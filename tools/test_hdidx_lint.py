@@ -128,6 +128,33 @@ class LintFixtureTest(unittest.TestCase):
                    "\n")
         self.assert_clean(run_lint(self.root))
 
+    def test_byteswap_outside_wire_fires(self):
+        self.write("src/a.cc",
+                   "#include <arpa/inet.h>\n"
+                   "int F(int p) { return htons(p); }\n")
+        proc = run_lint(self.root)
+        self.assert_violation(proc, "src/a.cc:2: byteswap:")
+
+    def test_byteswap_builtin_and_std_fire(self):
+        self.write("src/a.cc",
+                   "unsigned F(unsigned v) { return __builtin_bswap32(v); }\n"
+                   "unsigned G(unsigned v) { return std::byteswap(v); }\n")
+        proc = run_lint(self.root)
+        self.assert_violation(proc, "src/a.cc:1: byteswap:")
+        self.assertIn("src/a.cc:2: byteswap:", proc.stdout)
+
+    def test_byteswap_inside_wire_passes(self):
+        self.write("src/service/wire.cc",
+                   "int HostToNet16(int p) { return htons(p); }\n")
+        self.assert_clean(run_lint(self.root))
+
+    def test_byteswap_wrapper_call_passes(self):
+        # Callers go through the wire wrapper; its name must not trip the
+        # raw-token patterns.
+        self.write("src/a.cc",
+                   "int F(int p) { return wire::HostToNet16(p); }\n")
+        self.assert_clean(run_lint(self.root))
+
     def test_kernel_switch_incomplete_fires(self):
         self.write("src/a.cc", """\
 int F(KernelMode mode) {
