@@ -520,7 +520,8 @@ BENCHMARK(BM_ServiceBatch)
 bool BenchSendAll(int fd, std::string_view bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -11,6 +12,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <thread>
@@ -36,10 +38,17 @@ void SetNonBlocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-void SetBlocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+/// Every socket write goes through here: MSG_NOSIGNAL turns a peer that
+/// vanished mid-response into an EPIPE return (handled at the call site)
+/// instead of a process-killing SIGPIPE.
+ssize_t SendBytes(int fd, const char* data, size_t size) {
+  return ::send(fd, data, size, MSG_NOSIGNAL);
 }
+
+/// Final-flush grace at shutdown: per connection, at most this many
+/// POLLOUT waits of kFlushPollMs each before the fd is closed anyway.
+constexpr int kFlushPollRounds = 10;
+constexpr int kFlushPollMs = 20;
 
 void WakeEventFd(int fd) {
   const uint64_t one = 1;
@@ -93,10 +102,10 @@ class ShardQueue {
  public:
   explicit ShardQueue(size_t capacity) : capacity_(capacity) {}
 
-  /// False (shed counted) when the queue is at capacity.
+  /// False (shed counted) when the queue is at capacity or draining.
   bool TryPush(QueueItem item) {
     common::MutexLock lock(&mu_);
-    if (items_.size() >= capacity_) {
+    if (draining_ || items_.size() >= capacity_) {
       ++shed_;
       return false;
     }
@@ -143,8 +152,25 @@ class ShardQueue {
     cv_.NotifyAll();
   }
 
+  /// After this every TryPush sheds — the queue admits no new work, so a
+  /// subsequent WaitIdle() has a finite frontier even under sustained
+  /// arrivals. Used by the shutdown path; never cleared.
+  void BeginDrain() {
+    common::MutexLock lock(&mu_);
+    draining_ = true;
+  }
+
+  /// Blocks until no popped item is still being served. Queued items may
+  /// remain: this is the quiesce to pair with Pause(), which parks the
+  /// worker and therefore makes waiting for an *empty* queue a deadlock.
+  void WaitActiveDrained() {
+    common::MutexLock lock(&mu_);
+    while (active_ != 0) cv_.Wait(mu_);
+  }
+
   /// Blocks until nothing is queued or being served (responses for all
-  /// admitted requests are buffered on their connections by then).
+  /// admitted requests are buffered on their connections by then). The
+  /// worker must be running (not paused) for the queue to drain.
   void WaitIdle() {
     common::MutexLock lock(&mu_);
     while (!items_.empty() || active_ != 0) cv_.Wait(mu_);
@@ -172,6 +198,7 @@ class ShardQueue {
   size_t peak_depth_ HDIDX_GUARDED_BY(mu_) = 0;
   uint64_t shed_ HDIDX_GUARDED_BY(mu_) = 0;
   bool paused_ HDIDX_GUARDED_BY(mu_) = false;
+  bool draining_ HDIDX_GUARDED_BY(mu_) = false;
   bool shutdown_ HDIDX_GUARDED_BY(mu_) = false;
 };
 
@@ -451,7 +478,19 @@ void AsyncServer::Impl::AcceptLoop() {
       }
       while (true) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          if (errno == ECONNABORTED) continue;  // that peer is gone; next
+          if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+              errno == ENOMEM) {
+            // Out of descriptors/buffers: the backlog entry stays, so
+            // level-triggered epoll re-fires immediately — back off
+            // briefly instead of busy-spinning, and retry once existing
+            // connections close and free fds.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+          break;  // EAGAIN (backlog drained) or a hard error
+        }
         SetNonBlocking(fd);
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -651,12 +690,15 @@ void AsyncServer::Impl::HandleLoad(Reactor& r,
   result.dataset = request.load_dataset;
   {
     // Registry mutation is HDIDX_BUILD_ONLY: park every shard worker and
-    // wait out in-flight serves so no Find() races the load. Other
-    // reactors keep accepting (their predicts queue up, or shed when the
-    // paused queues fill) — only serving pauses, briefly.
+    // wait out the in-flight serves so no Find() races the load. Only
+    // in-flight — queued predicts stay queued (a parked worker cannot
+    // drain them, so waiting for empty queues here would deadlock the
+    // reactor) and are served against the updated registry after Resume.
+    // Other reactors keep accepting; their predicts queue up, or shed
+    // when the paused queues fill.
     common::MutexLock lock(&load_mu_);
     for (auto& queue : queues_) queue->Pause();
-    for (auto& queue : queues_) queue->WaitIdle();
+    for (auto& queue : queues_) queue->WaitActiveDrained();
     std::string load_error;
     result.ok = service_->registry().LoadFile(request.load_dataset,
                                               request.load_path, &load_error);
@@ -679,8 +721,18 @@ void AsyncServer::Impl::HandleShutdown(
     Reactor& r, const std::shared_ptr<Connection>& conn, uint64_t id) {
   // Drain first so every admitted predict's response is buffered on its
   // connection before the ack — a pipelined client that reads to the ack
-  // has, by then, every response it was owed.
-  for (auto& queue : queues_) queue->WaitIdle();
+  // has, by then, every response it was owed. Three things keep the
+  // drain finite: BeginDrain sheds new predicts (sustained arrivals from
+  // other reactors cannot extend the wait), Resume unparks workers (a
+  // test-seam pause would otherwise stall WaitIdle forever), and
+  // load_mu_ keeps the Resume from unparking workers in the middle of a
+  // concurrent registry load.
+  {
+    common::MutexLock lock(&load_mu_);
+    for (auto& queue : queues_) queue->BeginDrain();
+    for (auto& queue : queues_) queue->Resume();
+    for (auto& queue : queues_) queue->WaitIdle();
+  }
   ReactorSend(r, conn, wire::EncodeShutdownResponse(
                            id, served_.load(std::memory_order_relaxed)));
   Stop();
@@ -729,8 +781,8 @@ void AsyncServer::Impl::FlushConnection(
     if (conn->closed) return;
     while (conn->out_offset < conn->outbound.size()) {
       const ssize_t n =
-          ::write(conn->fd, conn->outbound.data() + conn->out_offset,
-                  conn->outbound.size() - conn->out_offset);
+          SendBytes(conn->fd, conn->outbound.data() + conn->out_offset,
+                    conn->outbound.size() - conn->out_offset);
       if (n > 0) {
         conn->out_offset += static_cast<size_t>(n);
         continue;
@@ -794,18 +846,32 @@ void AsyncServer::Impl::CloseConnection(
 }
 
 void AsyncServer::Impl::CleanupReactor(Reactor& r) {
-  // Deliver what is already buffered (e.g. the shutdown ack) with a final
-  // blocking flush, then close everything.
+  // Deliver what is already buffered (e.g. the shutdown ack) with a
+  // bounded best-effort flush, then close everything. The fd stays
+  // non-blocking throughout: a peer that stopped reading gets a small
+  // POLLOUT grace budget, not a hold on shutdown — an unflushed tail is
+  // the peer's loss, a wedged Wait()/JoinAll() would be everyone's.
   for (auto& [fd, conn] : r.conns) {
     common::MutexLock lock(&conn->mu);
     conn->closed = true;
-    SetBlocking(fd);
+    int budget = kFlushPollRounds;
     while (conn->out_offset < conn->outbound.size()) {
       const ssize_t n =
-          ::write(fd, conn->outbound.data() + conn->out_offset,
-                  conn->outbound.size() - conn->out_offset);
-      if (n <= 0) break;
-      conn->out_offset += static_cast<size_t>(n);
+          SendBytes(fd, conn->outbound.data() + conn->out_offset,
+                    conn->outbound.size() - conn->out_offset);
+      if (n > 0) {
+        conn->out_offset += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+          budget > 0) {
+        --budget;
+        pollfd pfd{fd, POLLOUT, 0};
+        ::poll(&pfd, 1, kFlushPollMs);
+        continue;
+      }
+      break;  // peer vanished, or the grace budget is spent
     }
     ::close(fd);
   }

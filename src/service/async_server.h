@@ -87,7 +87,11 @@ class AsyncServer {
 
   /// Test seam: parks every shard worker so queued requests accumulate —
   /// with traffic `shard_queue_capacity + K` deep, exactly K predicts are
-  /// shed, deterministically. Also the quiesce mechanism behind `load`.
+  /// shed, deterministically. The `load` op quiesces the same way (pause,
+  /// then wait for in-flight serves only — queued predicts stay queued
+  /// and run against the updated registry after resume), and a shutdown
+  /// frame resumes serving so its drain-before-ack stays finite even if
+  /// a pause is in effect.
   void PauseServingForTest();
   void ResumeServingForTest();
 

@@ -89,8 +89,8 @@ class WireClient {
   bool Send(std::string_view bytes) {
     size_t sent = 0;
     while (sent < bytes.size()) {
-      const ssize_t n =
-          ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+      const ssize_t n = ::send(fd_, bytes.data() + sent,
+                               bytes.size() - sent, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         return false;
@@ -408,6 +408,155 @@ TEST(AsyncServerTest, BackpressureShedsExactlyTheOverflow) {
   EXPECT_EQ(metrics.shed_total, 2u);  // sheds are not retried server-side
 
   EXPECT_EQ(ShutdownAndWait(&client, &server), 3u);
+}
+
+TEST(AsyncServerTest, LoadWithQueuedPredictsDoesNotDeadlock) {
+  const std::string path = ::testing::TempDir() + "/async_load_busy.hdx";
+  std::string error;
+  ASSERT_TRUE(data::WriteDataset(testing::SmallClustered(3000, 8, 47), path,
+                                 &error))
+      << error;
+
+  auto svc = MakeService(1);
+  AsyncServer server(svc.get(), AsyncServerOptions{});
+  ASSERT_TRUE(server.Start(&error)) << error;
+  WireClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+
+  // Park the workers, queue three predicts, then ask for a load. The
+  // load's quiesce must wait out *in-flight* serves only: parked workers
+  // can never drain the queue, so a quiesce that waited for empty queues
+  // (the pre-fix behavior) deadlocked the reactor here — wedging every
+  // connection and leaving the queues paused forever.
+  server.PauseServingForTest();
+  std::string frames;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    frames += wire::EncodePredictRequest(Req("alpha", "mini", 1, id));
+  }
+  frames += wire::EncodeLoadRequest(9, "delta", path);
+  ASSERT_TRUE(client.Send(frames));
+
+  // The load acks and its Resume unparks the workers, so the queued
+  // predicts complete too (in admission order; the ack may interleave
+  // with them, since workers restart as soon as the registry settles).
+  bool load_acked = false;
+  std::vector<uint64_t> predict_ids;
+  for (int i = 0; i < 4; ++i) {
+    wire::FrameHeader header;
+    std::string payload;
+    ASSERT_TRUE(client.Read(&header, &payload, &error)) << error;
+    if (header.id == 9) {
+      wire::LoadResult load;
+      ASSERT_TRUE(wire::DecodeLoadResponse(header, payload, &load, &error))
+          << error;
+      EXPECT_TRUE(load.ok) << load.error;
+      EXPECT_EQ(load.dataset, "delta");
+      load_acked = true;
+    } else {
+      wire::PredictReply reply;
+      ASSERT_TRUE(
+          wire::DecodePredictResponse(header, payload, &reply, &error))
+          << error;
+      ASSERT_TRUE(reply.response.ok) << reply.response.error;
+      EXPECT_FALSE(reply.shed);
+      predict_ids.push_back(reply.response.id);
+    }
+  }
+  EXPECT_TRUE(load_acked);
+  EXPECT_EQ(predict_ids, (std::vector<uint64_t>{1, 2, 3}));
+
+  // The loaded dataset serves over the same connection.
+  ASSERT_TRUE(
+      client.Send(wire::EncodePredictRequest(Req("delta", "mini", 2, 20))));
+  wire::FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(client.Read(&header, &payload, &error)) << error;
+  wire::PredictReply reply;
+  ASSERT_TRUE(wire::DecodePredictResponse(header, payload, &reply, &error));
+  EXPECT_TRUE(reply.response.ok) << reply.response.error;
+
+  EXPECT_EQ(ShutdownAndWait(&client, &server), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(AsyncServerTest, ShutdownDrainsQueuedPredictsEvenWhilePaused) {
+  auto svc = MakeService(1);
+  AsyncServer server(svc.get(), AsyncServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  WireClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+
+  // Queue predicts against parked workers, then request shutdown in the
+  // same pipelined breath. Shutdown overrides the pause: it stops
+  // admitting predicts, resumes the workers, and acks only once every
+  // admitted response is buffered — so the wire carries exactly 1..3 and
+  // then the ack, instead of the pre-fix indefinite stall.
+  server.PauseServingForTest();
+  std::string frames;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    frames += wire::EncodePredictRequest(Req("alpha", "mini", 1, id));
+  }
+  frames += wire::EncodeShutdownRequest(999);
+  ASSERT_TRUE(client.Send(frames));
+
+  for (const uint64_t expected_id : {1, 2, 3}) {
+    wire::FrameHeader header;
+    std::string payload;
+    ASSERT_TRUE(client.Read(&header, &payload, &error)) << error;
+    wire::PredictReply reply;
+    ASSERT_TRUE(wire::DecodePredictResponse(header, payload, &reply, &error))
+        << error;
+    ASSERT_TRUE(reply.response.ok) << reply.response.error;
+    EXPECT_FALSE(reply.shed);
+    EXPECT_EQ(reply.response.id, expected_id);
+  }
+  wire::FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(client.Read(&header, &payload, &error)) << error;
+  uint64_t served = 0;
+  ASSERT_TRUE(wire::DecodeShutdownResponse(header, payload, &served, &error))
+      << error;
+  EXPECT_EQ(header.id, 999u);
+  EXPECT_EQ(served, 3u);
+  EXPECT_EQ(server.Wait(), 3u);
+}
+
+TEST(AsyncServerTest, ClientsVanishingMidResponseDontKillTheServer) {
+  const std::vector<ServiceRequest> requests = BatteryRequests();
+  auto svc = MakeService(2);
+  AsyncServer server(svc.get(), AsyncServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Pipeline the whole battery, then vanish without reading a byte: the
+  // server's response writes land on a reset connection. Without
+  // MSG_NOSIGNAL the second write after the RST raises SIGPIPE and kills
+  // the process (the healthy session below would fail to connect); with
+  // it the write returns EPIPE and the connection is simply closed.
+  std::string frames;
+  for (const ServiceRequest& r : requests) {
+    frames += wire::EncodePredictRequest(r);
+  }
+  for (int round = 0; round < 4; ++round) {
+    WireClient vanisher;
+    ASSERT_TRUE(vanisher.Connect(server.port()));
+    ASSERT_TRUE(vanisher.Send(frames));
+    vanisher.Close();
+  }
+
+  WireClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(
+      client.Send(wire::EncodePredictRequest(Req("alpha", "mini", 1, 500))));
+  wire::FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(client.Read(&header, &payload, &error)) << error;
+  wire::PredictReply reply;
+  ASSERT_TRUE(wire::DecodePredictResponse(header, payload, &reply, &error))
+      << error;
+  EXPECT_TRUE(reply.response.ok) << reply.response.error;
+  ShutdownAndWait(&client, &server);
 }
 
 TEST(AsyncServerTest, MalformedStreamsRejectedWithoutTakingTheServerDown) {

@@ -180,7 +180,10 @@ int ConnectLoopback(uint16_t port) {
 bool SendAll(int fd, std::string_view bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    // MSG_NOSIGNAL: a server that closed mid-pipeline is an EPIPE (and a
+    // clean "transport error" exit), not a SIGPIPE kill.
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
