@@ -5,6 +5,7 @@
 
 #include "core/predictor.h"
 #include "data/dataset.h"
+#include "index/bulk_loader.h"
 #include "index/rtree.h"
 #include "index/topology.h"
 #include "workload/query_workload.h"
@@ -21,6 +22,16 @@ struct MiniIndexParams {
   bool compensate = true;
   /// Seed for drawing the sample.
   uint64_t seed = 1;
+  /// The split strategy the full index was (or will be) built with; the
+  /// mini-index must run the same construction algorithm for the
+  /// structural-similarity argument of Section 3.1 to hold.
+  index::SplitStrategy split_strategy = index::SplitStrategy::kMaxVariance;
+  /// Tuning carried into the mini build when split_strategy is
+  /// kAdaptiveSample. To model an external adaptive build, set
+  /// adaptive.memory_points to the external build's M: bucket-level
+  /// placement compares unscaled subtree capacities, so the mini-index
+  /// derives the same bucket level as the full build regardless of zeta.
+  index::AdaptiveOptions adaptive;
 };
 
 /// The basic sampling-based prediction model (Section 3.1): draw a sample,

@@ -8,7 +8,9 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/random.h"
 #include "common/stats.h"
+#include "index/adaptive_build.h"
 
 namespace hdidx::index {
 
@@ -21,6 +23,10 @@ size_t PointSource::ChooseSplitDim(size_t lo, size_t hi,
       return ComputeBox(lo, hi).LongestDimension();
     case SplitStrategy::kRoundRobin:
       return depth % dim();
+    case SplitStrategy::kAdaptiveSample:
+      // Within-bucket splits of the adaptive pipeline (and the fallback
+      // recursion of sources without one) use max-variance dimensions.
+      return MaxVarianceDim(lo, hi);
   }
   return MaxVarianceDim(lo, hi);
 }
@@ -317,6 +323,146 @@ class ParallelBuilder {
 
 }  // namespace
 
+uint32_t PointSource::BuildAdaptiveRoot(const BulkLoadOptions& options,
+                                        size_t root_level, RTree* tree) {
+  // Sources without a native sample-first pipeline still honor the
+  // strategy's layout contract (serial, deterministic) via the classic
+  // recursion with max-variance splits.
+  Builder builder(this, options, tree);
+  return builder.BuildNode(root_level, 0, size());
+}
+
+namespace internal {
+
+uint32_t BuildSerialNode(PointSource* source, const BulkLoadOptions& options,
+                         RTree* tree, size_t level, size_t lo, size_t hi) {
+  Builder builder(source, options, tree);
+  return builder.BuildNode(level, lo, hi);
+}
+
+namespace {
+
+/// SplitRange's recursion shape, but collecting the bucket-level roots of an
+/// overfull bucket instead of one directory's children.
+void SplitBucketRange(PointSource* source, const BulkLoadOptions& options,
+                      RTree* tree, size_t bucket_level, size_t lo, size_t hi,
+                      size_t fanout, double child_target, size_t depth,
+                      std::vector<AdaptiveRoot>* roots) {
+  if (fanout <= 1 || hi - lo <= 1) {
+    roots->push_back(
+        {BuildSerialNode(source, options, tree, bucket_level, lo, hi),
+         hi - lo});
+    return;
+  }
+  const size_t left_fanout = (fanout + 1) / 2;
+  size_t split = lo + static_cast<size_t>(std::llround(
+                          static_cast<double>(left_fanout) * child_target));
+  split = std::clamp(split, lo + 1, hi - 1);
+  const size_t dim =
+      source->ChooseSplitDim(lo, hi, options.split_strategy, depth);
+  source->Partition(lo, hi, split, dim);
+  SplitBucketRange(source, options, tree, bucket_level, lo, split, left_fanout,
+                   child_target, depth + 1, roots);
+  SplitBucketRange(source, options, tree, bucket_level, split, hi,
+                   fanout - left_fanout, child_target, depth + 1, roots);
+}
+
+}  // namespace
+
+void BuildBucketRoots(PointSource* source, const BulkLoadOptions& options,
+                      RTree* tree, size_t bucket_level, size_t lo, size_t hi,
+                      std::vector<AdaptiveRoot>* roots) {
+  HDIDX_CHECK(hi > lo);
+  const double scaled_cap = std::max(
+      1.0, static_cast<double>(
+               options.topology->SubtreeCapacity(bucket_level)) *
+               options.scale);
+  const size_t fanout = static_cast<size_t>(
+      std::ceil(static_cast<double>(hi - lo) / scaled_cap - 1e-9));
+  SplitBucketRange(source, options, tree, bucket_level, lo, hi, fanout,
+                   scaled_cap, /*depth=*/0, roots);
+}
+
+}  // namespace internal
+
+uint32_t InMemoryPointSource::BuildAdaptiveRoot(const BulkLoadOptions& options,
+                                                size_t root_level,
+                                                RTree* tree) {
+  if (root_level == options.stop_level) {
+    // Single-leaf tree: nothing to place buckets under.
+    return PointSource::BuildAdaptiveRoot(options, root_level, tree);
+  }
+  const TreeTopology& topo = *options.topology;
+  const size_t n = size();
+  const size_t d = dim();
+  const AdaptiveOptions& adaptive = options.adaptive;
+  const size_t bucket_level = AdaptiveBucketLevel(
+      topo, root_level, options.stop_level, adaptive.memory_points);
+
+  // Sample pass: gather sample rows through the current permutation so the
+  // draw is a function of (data, seed) alone.
+  const size_t sample_size = std::clamp<size_t>(
+      std::max<size_t>(adaptive.min_sample_points,
+                       static_cast<size_t>(std::llround(
+                           static_cast<double>(n) *
+                           adaptive.sampling_fraction))),
+      1, n);
+  std::vector<size_t> sample_idx;
+  common::Rng(adaptive.seed).SampleIndices(n, sample_size, &sample_idx);
+  std::vector<float> sample(sample_size * d);
+  for (size_t i = 0; i < sample_size; ++i) {
+    const auto row = data_->row(order_[sample_idx[i]]);
+    std::copy(row.begin(), row.end(), sample.begin() + i * d);
+  }
+
+  const double scaled_cap = std::max(
+      1.0, static_cast<double>(topo.SubtreeCapacity(bucket_level)) *
+               options.scale);
+  // Aim buckets slightly under capacity so sampling error rarely overfills.
+  const double bucket_target = std::max(1.0, scaled_cap * 0.7);
+  const SplitPlan plan = SplitPlan::Build(sample.data(), sample_size, d,
+                                          static_cast<double>(n),
+                                          bucket_target);
+
+  // Classification pass: one bucket id per point, plus bucket counts.
+  std::vector<uint32_t> point_bucket(n);
+  std::vector<size_t> counts(plan.num_buckets(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t b = plan.BucketOf(data_->row(order_[i]).data());
+    point_bucket[i] = static_cast<uint32_t>(b);
+    ++counts[b];
+  }
+
+  // Stable counting sort of the permutation by bucket id: the stream order
+  // the external pipeline's run gather produces (bucket-major, original
+  // order within a bucket).
+  std::vector<size_t> offsets(plan.num_buckets() + 1, 0);
+  for (size_t b = 0; b < plan.num_buckets(); ++b) {
+    offsets[b + 1] = offsets[b] + counts[b];
+  }
+  {
+    std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<uint32_t> sorted(n);
+    for (size_t i = 0; i < n; ++i) {
+      sorted[cursor[point_bucket[i]]++] = order_[i];
+    }
+    order_.swap(sorted);
+  }
+
+  // Slice the stream at exact root boundaries — not bucket boundaries, whose
+  // arbitrary sizes would inflate the leaf count by one ceil per group —
+  // and finish each group's subtree(s) with the serial recursion, then pack
+  // the directory levels above the bucket roots.
+  std::vector<internal::AdaptiveRoot> roots;
+  const std::vector<size_t> bounds =
+      AdaptiveGroupBoundaries(n, scaled_cap, adaptive.memory_points);
+  for (size_t g = 0; g + 1 < bounds.size(); ++g) {
+    internal::BuildBucketRoots(this, options, tree, bucket_level, bounds[g],
+                               bounds[g + 1], &roots);
+  }
+  return PackUpperLevels(options, bucket_level, root_level, roots, tree);
+}
+
 RTree BulkLoad(PointSource* source, const BulkLoadOptions& options) {
   HDIDX_CHECK(options.topology != nullptr);
   HDIDX_CHECK(options.scale > 0.0);
@@ -333,7 +479,12 @@ RTree BulkLoad(PointSource* source, const BulkLoadOptions& options) {
       options.exec != nullptr && options.exec->threads() > 1 &&
       source->concurrency() == PointSource::Concurrency::kDisjointRanges;
   uint32_t root;
-  if (fan_out) {
+  if (options.split_strategy == SplitStrategy::kAdaptiveSample) {
+    // The adaptive pipeline is always serial (and bit-identical across
+    // thread counts and read-ahead windows by construction); the source
+    // drives its own sample-first build.
+    root = source->BuildAdaptiveRoot(options, root_level, &tree);
+  } else if (fan_out) {
     ParallelBuilder builder(source, options, &tree);
     root = builder.Build(root_level);
   } else {

@@ -24,11 +24,49 @@ namespace hdidx::index {
 ///  * kRoundRobin: cycle through dimensions by split depth — the k-d-B-tree
 ///    family (Robinson [29]), one more member of the Section 4.7 group the
 ///    prediction technique covers.
+///  * kAdaptiveSample: sample-first bulk loading (Fast and Adaptive Bulk
+///    Loading, arXiv 2409.09447): a cheap sample pass chooses the whole
+///    split-plane tree adaptively to the data's skew up front, then a single
+///    streaming pass classifies every point into its output partition —
+///    replacing the multi-pass external quickselect. Within partitions and
+///    for sources with no native streaming path, splits fall back to
+///    max-variance.
 enum class SplitStrategy {
   kMaxVariance,
   kMaxExtent,
   kRoundRobin,
+  kAdaptiveSample,
 };
+
+/// Tuning for SplitStrategy::kAdaptiveSample. All of it is part of the
+/// deterministic layout function: two builds with equal options (and equal
+/// data) produce bit-identical trees regardless of thread count or
+/// read-ahead window.
+struct AdaptiveOptions {
+  /// Fraction of the points drawn (without replacement, Rng(seed)) by the
+  /// split-plane sample pass.
+  double sampling_fraction = 0.05;
+  /// Lower bound on the sample size (clamped to the point count).
+  size_t min_sample_points = 256;
+  /// Seed of the sample draw.
+  uint64_t seed = 1;
+  /// Memory budget in points used to place the bucket level (the level
+  /// whose subtrees are classified as whole units): the largest level whose
+  /// unscaled subtree capacity is at most half this budget. 0 means
+  /// unconstrained (buckets directly under the root). External builds set
+  /// this to their window size M; a mini-index predicting an external
+  /// adaptive build must carry the same value so both derive the same
+  /// bucket level (the capacities compared are unscaled, so the choice is
+  /// sampling-fraction invariant).
+  size_t memory_points = 0;
+  /// External builds: how many classification chunks the async read-ahead
+  /// layer keeps in flight ahead of the consumer (io/read_ahead.h). 0
+  /// disables prefetch. Never affects the layout or the IoStats tally —
+  /// only wall-clock overlap.
+  size_t read_ahead_window = 4;
+};
+
+struct BulkLoadOptions;
 
 /// Abstraction over where the points being bulk-loaded live.
 ///
@@ -91,6 +129,15 @@ class PointSource {
 
   /// Called once when construction finishes; external sources flush buffers.
   HDIDX_BUILD_ONLY virtual void Finish() {}
+
+  /// Builds the whole tree (returning its root id) when the strategy is
+  /// kAdaptiveSample: BulkLoad dispatches here instead of running the
+  /// level-wise recursion, and the source drives its own sample-first
+  /// pipeline. Always serial — layouts are bit-identical for every thread
+  /// count by construction. The default covers sources with no native
+  /// pipeline: the classic serial recursion with max-variance splits.
+  HDIDX_BUILD_ONLY virtual uint32_t BuildAdaptiveRoot(
+      const BulkLoadOptions& options, size_t root_level, RTree* tree);
 };
 
 /// PointSource over an in-memory dataset. Construction permutes an index
@@ -109,6 +156,14 @@ class InMemoryPointSource : public PointSource {
   size_t MaxVarianceDim(size_t lo, size_t hi) override;
   void Partition(size_t lo, size_t hi, size_t pos, size_t split_dim) override;
   geometry::BoundingBox ComputeBox(size_t lo, size_t hi) override;
+
+  /// Sample-first pipeline over the in-memory dataset: sample rows choose a
+  /// split-plane tree (adaptive_build.h), one classification pass plus a
+  /// stable counting sort of the permutation forms the bucket ranges, each
+  /// bucket's subtree is finished with the serial recursion, and the upper
+  /// levels are packed over the bucket roots.
+  uint32_t BuildAdaptiveRoot(const BulkLoadOptions& options, size_t root_level,
+                             RTree* tree) override;
 
   /// The permutation built up by Partition calls.
   std::vector<uint32_t> TakeOrder() { return std::move(order_); }
@@ -143,6 +198,9 @@ struct BulkLoadOptions {
   /// How split dimensions are chosen (see SplitStrategy).
   SplitStrategy split_strategy = SplitStrategy::kMaxVariance;
 
+  /// Tuning for kAdaptiveSample (ignored by the other strategies).
+  AdaptiveOptions adaptive;
+
   /// Execution resources for the build. nullptr (the default) and serial
   /// contexts run the classic depth-first recursion; a context with a pool
   /// of 2+ threads fans sibling subtrees out over the pool's workers —
@@ -176,6 +234,38 @@ RTree BulkLoad(PointSource* source, const BulkLoadOptions& options);
 /// permutation as the tree's order().
 RTree BulkLoadInMemory(const data::Dataset& data,
                        const BulkLoadOptions& options);
+
+namespace internal {
+
+/// A finished bucket subtree of a kAdaptiveSample build: its root node id
+/// and the number of points under it (adaptive_build.h packs the upper
+/// levels from these).
+struct AdaptiveRoot {
+  uint32_t id = 0;
+  size_t points = 0;
+};
+
+/// Runs the classic serial recursion to build the subtree rooted at `level`
+/// over points [lo, hi); returns the new node's id. Exposed for the
+/// adaptive pipelines, which finish each bucket this way.
+HDIDX_BUILD_ONLY uint32_t BuildSerialNode(PointSource* source,
+                                          const BulkLoadOptions& options,
+                                          RTree* tree, size_t level, size_t lo,
+                                          size_t hi);
+
+/// Builds the bucket [lo, hi) as one or more subtrees rooted at
+/// `bucket_level`, appended to `roots` in left-to-right order. A bucket no
+/// larger than the scaled subtree capacity yields exactly one root; an
+/// overfull bucket (sampling deviation) is first split at capacity
+/// multiples by the recursive binary max-variance partitioner, so every
+/// root respects the level's capacity whenever the data is splittable.
+HDIDX_BUILD_ONLY void BuildBucketRoots(PointSource* source,
+                                       const BulkLoadOptions& options,
+                                       RTree* tree, size_t bucket_level,
+                                       size_t lo, size_t hi,
+                                       std::vector<AdaptiveRoot>* roots);
+
+}  // namespace internal
 
 }  // namespace hdidx::index
 

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/random.h"
+#include "index/adaptive_build.h"
+#include "io/read_ahead.h"
 
 namespace hdidx::index {
 
@@ -21,6 +26,13 @@ namespace {
 /// simulated disk costs are the paper's numbers only under the serial
 /// depth-first recursion. BulkLoad's single-owner gate guarantees that no
 /// execution context can fan this source out.
+///
+/// Every seek and transfer the source charges is also attributed to a phase
+/// of ExternalBuildIo by RAII scopes around the charging code paths;
+/// attribution goes to the outermost scope (the phase that *triggered* the
+/// I/O — e.g. a window flush forced by an external select lands in
+/// `partition`). BuildOnDisk audits that the phases sum exactly to the
+/// observed I/O delta.
 class ExternalPointSource : public PointSource {
  public:
   ExternalPointSource(io::PagedFile* file, size_t memory_points)
@@ -37,10 +49,12 @@ class ExternalPointSource : public PointSource {
 
   size_t MaxVarianceDim(size_t lo, size_t hi) override {
     if (WindowCovers(lo, hi) || hi - lo <= memory_points_) {
+      PhaseScope scope(this, &phases_.finish);
       EnsureWindow(lo, hi);
       return MaxVarianceOfWindow(lo, hi);
     }
     // Chunked sequential variance scan over the file.
+    PhaseScope scope(this, &phases_.partition);
     file_->ChargeAccess(lo, hi - lo);
     std::vector<double> sum(dim_, 0.0), sum_sq(dim_, 0.0);
     const auto raw = file_->raw();
@@ -68,6 +82,7 @@ class ExternalPointSource : public PointSource {
   void Partition(size_t lo, size_t hi, size_t pos, size_t split_dim) override {
     HDIDX_CHECK(lo < pos && pos < hi);
     if (!WindowCovers(lo, hi) && hi - lo > memory_points_) {
+      PhaseScope scope(this, &phases_.partition);
       ExternalSelect(&lo, &hi, pos, split_dim);
       // The select leaves the range oversized only when every value along
       // split_dim is (effectively) equal; any ordering is then already a
@@ -77,7 +92,10 @@ class ExternalPointSource : public PointSource {
       if (hi - lo > memory_points_) return;
       if (hi - lo <= 1 || pos <= lo || pos >= hi) return;
     }
-    EnsureWindow(lo, hi);
+    {
+      PhaseScope scope(this, &phases_.finish);
+      EnsureWindow(lo, hi);
+    }
     const float* buf = buffer_.data();
     const size_t d = dim_;
     std::nth_element(
@@ -90,6 +108,7 @@ class ExternalPointSource : public PointSource {
   }
 
   geometry::BoundingBox ComputeBox(size_t lo, size_t hi) override {
+    PhaseScope scope(this, &phases_.finish);
     if (WindowCovers(lo, hi) || hi - lo <= memory_points_) {
       EnsureWindow(lo, hi);
       geometry::BoundingBox box(dim_);
@@ -109,11 +128,54 @@ class ExternalPointSource : public PointSource {
     return box;
   }
 
-  void Finish() override { FlushWindow(); }
+  void Finish() override {
+    PhaseScope scope(this, &phases_.finish);
+    FlushWindow();
+  }
 
-  io::IoStats TotalIo() const { return file_->stats() + scratch_.stats(); }
+  uint32_t BuildAdaptiveRoot(const BulkLoadOptions& options, size_t root_level,
+                             RTree* tree) override;
+
+  io::IoStats TotalIo() const {
+    io::IoStats total = file_->stats() + scratch_.stats();
+    if (overflow_scratch_ != nullptr) total += overflow_scratch_->stats();
+    return total;
+  }
+
+  const ExternalBuildIo& phases() const { return phases_; }
+  double overlap_ratio() const { return overlap_ratio_; }
 
  private:
+  /// Attributes all I/O charged while the outermost scope is alive to one
+  /// ExternalBuildIo slot. Nested scopes are inert, so a helper triggered
+  /// from inside another phase (a window flush forced by a select, say)
+  /// charges the triggering phase exactly once.
+  class PhaseScope {
+   public:
+    PhaseScope(ExternalPointSource* source, io::IoStats* slot)
+        : source_(source) {
+      if (source_->scope_depth_++ == 0) {
+        slot_ = slot;
+        before_ = source_->TotalIo();
+      }
+    }
+    ~PhaseScope() {
+      --source_->scope_depth_;
+      if (slot_ != nullptr) {
+        const io::IoStats now = source_->TotalIo();
+        slot_->page_seeks += now.page_seeks - before_.page_seeks;
+        slot_->page_transfers += now.page_transfers - before_.page_transfers;
+      }
+    }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    ExternalPointSource* source_;
+    io::IoStats* slot_ = nullptr;
+    io::IoStats before_;
+  };
+
   bool WindowCovers(size_t lo, size_t hi) const {
     return window_valid_ && lo >= window_lo_ && hi <= window_hi_;
   }
@@ -274,9 +336,272 @@ class ExternalPointSource : public PointSource {
   size_t window_lo_ = 0;
   size_t window_hi_ = 0;
   bool window_valid_ = false;
+
+  ExternalBuildIo phases_;
+  size_t scope_depth_ = 0;
+  double overlap_ratio_ = 0.0;
+  // Swapped in for `scratch_` while an oversized bucket group is finished
+  // by the recursive external partitioner, whose select scribbles scratch
+  // positions that still hold other groups' staged runs. Lazily created:
+  // most builds never have an oversized group.
+  std::unique_ptr<io::PagedFile> overflow_scratch_;
 };
 
+uint32_t ExternalPointSource::BuildAdaptiveRoot(const BulkLoadOptions& options,
+                                                size_t root_level,
+                                                RTree* tree) {
+  if (root_level == options.stop_level) {
+    // Single-leaf tree: nothing to place buckets under.
+    return PointSource::BuildAdaptiveRoot(options, root_level, tree);
+  }
+  const TreeTopology& topo = *options.topology;
+  const size_t n = file_->size();
+  const size_t d = dim_;
+  const AdaptiveOptions& adaptive = options.adaptive;
+  const size_t bucket_level = AdaptiveBucketLevel(
+      topo, root_level, options.stop_level, adaptive.memory_points);
+  const double scaled_cap = std::max(
+      1.0, static_cast<double>(topo.SubtreeCapacity(bucket_level)) *
+               options.scale);
+  // Aim buckets slightly under capacity so sampling error rarely overfills.
+  const double bucket_target = std::max(1.0, scaled_cap * 0.7);
+
+  // Sample pass: draw sorted indices and charge each distinct page once, in
+  // ascending order — the realistic cost of a sample sweep, and a
+  // deterministic function of (size, seed) alone.
+  const size_t sample_size = std::clamp<size_t>(
+      std::max<size_t>(adaptive.min_sample_points,
+                       static_cast<size_t>(std::llround(
+                           static_cast<double>(n) *
+                           adaptive.sampling_fraction))),
+      1, n);
+  std::vector<float> sample(sample_size * d);
+  {
+    PhaseScope scope(this, &phases_.sample);
+    std::vector<size_t> idx;
+    common::Rng(adaptive.seed).SampleIndices(n, sample_size, &idx);
+    const size_t ppp = file_->points_per_page();
+    const auto raw = file_->raw();
+    size_t i = 0;
+    while (i < sample_size) {
+      const size_t page = idx[i] / ppp;
+      const size_t page_lo = page * ppp;
+      file_->ChargeAccess(page_lo, std::min(ppp, n - page_lo));
+      for (; i < sample_size && idx[i] / ppp == page; ++i) {
+        std::copy_n(raw.data() + idx[i] * d, d, sample.data() + i * d);
+      }
+    }
+  }
+  const SplitPlan plan = SplitPlan::Build(sample.data(), sample_size, d,
+                                          static_cast<double>(n),
+                                          bucket_target);
+  sample.clear();
+  sample.shrink_to_fit();
+
+  // Streaming classification pass: one prefetched sequential sweep over the
+  // file; each chunk's points are routed by the plan and appended as
+  // per-bucket runs to a log on the scratch file. The chunk size is a
+  // page-aligned function of M only, so layouts and IoStats are identical
+  // for every read-ahead window and thread count.
+  std::vector<std::vector<io::ReadAheadSource::Extent>> bucket_runs(
+      plan.num_buckets());
+  {
+    PhaseScope scope(this, &phases_.partition);
+    if (scratch_.size() < n) scratch_.Resize(n);
+    const size_t ppp = file_->points_per_page();
+    const size_t chunk = std::max(ppp, memory_points_ / 8 / ppp * ppp);
+    std::vector<io::ReadAheadSource::Extent> read_plan;
+    read_plan.reserve(n / chunk + 1);
+    for (size_t lo = 0; lo < n; lo += chunk) {
+      read_plan.push_back({lo, std::min(chunk, n - lo)});
+    }
+    common::ThreadPool* pool =
+        options.exec != nullptr ? options.exec->pool : nullptr;
+    io::ReadAheadSource reader(file_, std::move(read_plan),
+                               adaptive.read_ahead_window, pool);
+    // Staged points persist across chunks; once half the memory budget is
+    // staged, every bucket is flushed at once as a single contiguous,
+    // bucket-ordered batch — one Write call, so the transfer cost is
+    // ceil(batch / page) instead of one-plus per bucket, and each batch
+    // later contributes one contiguous extent per gather group. The flush
+    // schedule depends only on the chunk sequence, which is itself window-
+    // and thread-invariant.
+    std::vector<std::vector<float>> stage(plan.num_buckets());
+    size_t staged = 0;
+    size_t frontier = 0;
+    const size_t stage_budget = std::max(chunk, memory_points_ / 2);
+    std::vector<float> batch;
+    const auto flush_all = [&] {
+      if (staged == 0) return;
+      batch.clear();
+      size_t pos = frontier;
+      for (size_t b = 0; b < stage.size(); ++b) {
+        const size_t run = stage[b].size() / d;
+        if (run == 0) continue;
+        batch.insert(batch.end(), stage[b].begin(), stage[b].end());
+        bucket_runs[b].push_back({pos, run});
+        pos += run;
+        stage[b].clear();
+      }
+      scratch_.Write(frontier, staged, batch.data());
+      frontier = pos;
+      staged = 0;
+    };
+    while (!reader.done()) {
+      const auto rows = reader.Next();
+      const size_t count = rows.size() / d;
+      for (size_t i = 0; i < count; ++i) {
+        const float* row = rows.data() + i * d;
+        const size_t b = plan.BucketOf(row);
+        stage[b].insert(stage[b].end(), row, row + d);
+      }
+      staged += count;
+      if (staged > stage_budget) flush_all();
+    }
+    flush_all();
+    HDIDX_CHECK(frontier == n) << "classification lost points";
+    overlap_ratio_ = reader.overlap_ratio();
+  }
+
+  // Concatenated in bucket order (runs chronological within a bucket), the
+  // staged runs are the full dataset in classified stream order — the same
+  // order the in-memory pipeline's counting sort produces.
+  std::vector<io::ReadAheadSource::Extent> stream_runs;
+  stream_runs.reserve(n / file_->points_per_page() + plan.num_buckets());
+  for (size_t b = 0; b < plan.num_buckets(); ++b) {
+    stream_runs.insert(stream_runs.end(), bucket_runs[b].begin(),
+                       bucket_runs[b].end());
+  }
+
+  // Gather group-sized slices of the stream (cut at exact root boundaries,
+  // mirroring the in-memory pipeline) back out of the log and finish each
+  // group's subtree(s); output offsets are cumulative, so leaves tile
+  // [0, N) in append order exactly as BulkLoad audits.
+  std::vector<internal::AdaptiveRoot> roots;
+  const std::vector<size_t> bounds =
+      AdaptiveGroupBoundaries(n, scaled_cap, memory_points_);
+  size_t run_idx = 0;
+  size_t run_off = 0;
+  // Collects the next `need` stream points as log extents, then sorts and
+  // coalesces them by log position: each flush batch wrote this group's
+  // buckets contiguously, so the group collapses to roughly one extent per
+  // batch. The points arrive in log order rather than stream order — a
+  // deterministic permutation of the group, which the in-window quickselect
+  // re-partitions anyway.
+  const auto gather_extents = [&](size_t need) {
+    std::vector<io::ReadAheadSource::Extent> parts;
+    while (need > 0) {
+      HDIDX_CHECK(run_idx < stream_runs.size()) << "staged runs exhausted";
+      const auto& run = stream_runs[run_idx];
+      const size_t take = std::min(run.count - run_off, need);
+      parts.push_back({run.start + run_off, take});
+      need -= take;
+      run_off += take;
+      if (run_off == run.count) {
+        ++run_idx;
+        run_off = 0;
+      }
+    }
+    std::sort(parts.begin(), parts.end(),
+              [](const io::ReadAheadSource::Extent& a,
+                 const io::ReadAheadSource::Extent& b) {
+                return a.start < b.start;
+              });
+    std::vector<io::ReadAheadSource::Extent> merged;
+    for (const auto& e : parts) {
+      if (!merged.empty() &&
+          merged.back().start + merged.back().count == e.start) {
+        merged.back().count += e.count;
+      } else {
+        merged.push_back(e);
+      }
+    }
+    return merged;
+  };
+  for (size_t g = 0; g + 1 < bounds.size(); ++g) {
+    const size_t out_lo = bounds[g];
+    const size_t out_hi = bounds[g + 1];
+    const size_t group_points = out_hi - out_lo;
+    if (group_points <= memory_points_) {
+      {
+        PhaseScope scope(this, &phases_.partition);
+        buffer_.resize(group_points * d);
+        size_t off = 0;
+        for (const auto& e : gather_extents(group_points)) {
+          scratch_.Read(e.start, e.count, buffer_.data() + off * d);
+          off += e.count;
+        }
+        HDIDX_CHECK(off == group_points);
+        perm_.resize(group_points);
+        std::iota(perm_.begin(), perm_.end(), 0u);
+        window_lo_ = out_lo;
+        window_hi_ = out_hi;
+        window_valid_ = true;
+      }
+      internal::BuildBucketRoots(this, options, tree, bucket_level, out_lo,
+                                 out_hi, &roots);
+      {
+        PhaseScope scope(this, &phases_.finish);
+        FlushWindow();
+      }
+    } else {
+      // A group can only exceed the window when a single bucket-level root
+      // does (memory so tight even one subtree plus slack doesn't fit):
+      // stream the slice back into file order and let the recursive
+      // external partitioner finish it. The select needs a scratch file of
+      // its own — the shared log still holds the later groups' runs — so
+      // the lazily created overflow scratch is swapped in around the
+      // recursion.
+      {
+        PhaseScope scope(this, &phases_.partition);
+        std::vector<float> copy_buf;
+        size_t pos = out_lo;
+        for (const auto& e : gather_extents(group_points)) {
+          size_t done = 0;
+          while (done < e.count) {
+            const size_t step = std::min(memory_points_, e.count - done);
+            copy_buf.resize(step * d);
+            scratch_.Read(e.start + done, step, copy_buf.data());
+            file_->Write(pos, step, copy_buf.data());
+            pos += step;
+            done += step;
+          }
+        }
+        HDIDX_CHECK(pos == out_hi);
+      }
+      if (overflow_scratch_ == nullptr) {
+        overflow_scratch_ =
+            std::make_unique<io::PagedFile>(d, file_->disk());
+      }
+      std::swap(scratch_, *overflow_scratch_);
+      internal::BuildBucketRoots(this, options, tree, bucket_level, out_lo,
+                                 out_hi, &roots);
+      {
+        PhaseScope scope(this, &phases_.finish);
+        FlushWindow();
+      }
+      std::swap(scratch_, *overflow_scratch_);
+    }
+  }
+  HDIDX_CHECK(run_idx == stream_runs.size()) << "bucket groups lost points";
+  return PackUpperLevels(options, bucket_level, root_level, roots, tree);
+}
+
 }  // namespace
+
+void AuditExternalBuildIo(const ExternalBuildIo& phases,
+                          const io::IoStats& observed) {
+  phases.sample.Validate();
+  phases.partition.Validate();
+  phases.finish.Validate();
+  phases.directory.Validate();
+  const io::IoStats total = phases.Total();
+  HDIDX_CHECK(total == observed)
+      << "external build phase tallies drift from observed I/O: phases sum to "
+      << total.page_seeks << " seeks / " << total.page_transfers
+      << " transfers, observed " << observed.page_seeks << " / "
+      << observed.page_transfers;
+}
 
 ExternalBuildResult BuildOnDisk(io::PagedFile* file,
                                 const ExternalBuildOptions& options) {
@@ -290,23 +615,35 @@ ExternalBuildResult BuildOnDisk(io::PagedFile* file,
   load.scale = 1.0;
   load.root_level = options.topology->height();
   load.stop_level = 1;
+  load.split_strategy = options.split_strategy;
+  load.adaptive = options.adaptive;
+  // Bucket placement must see the actual window size, whatever the caller
+  // left in the adaptive sub-options.
+  load.adaptive.memory_points = options.memory_points;
   // The source's kSingleOwner contract makes this a no-op for the build
   // order; forwarding it anyway keeps the call shape uniform and exercises
-  // the gate (tests assert IoStats are thread-count invariant).
+  // the gate (tests assert IoStats are thread-count invariant). The
+  // adaptive pipeline additionally borrows the pool for read-ahead.
   load.exec = options.exec;
-  ExternalBuildResult result{BulkLoad(&source, load), io::IoStats{}};
+  ExternalBuildResult result{BulkLoad(&source, load), io::IoStats{},
+                             ExternalBuildIo{}, 0.0};
+  result.phases = source.phases();
+  result.overlap_ratio = source.overlap_ratio();
 
   // Charge writing the directory pages: one sequential write of all
-  // non-leaf nodes (one page each).
+  // non-leaf nodes (one page each). The seek lands on the file; the
+  // transfers are synthesized (directory pages have no backing store in
+  // the simulation).
   const size_t dir_nodes = result.tree.num_nodes() - result.tree.num_leaves();
+  io::IoStats dir_synthetic;
   if (dir_nodes > 0) {
     file->ChargeSeek();
-    io::IoStats dir_write;
-    dir_write.page_transfers = dir_nodes;
-    result.io += dir_write;
+    dir_synthetic.page_transfers = dir_nodes;
+    result.phases.directory.page_seeks += 1;
+    result.phases.directory.page_transfers += dir_nodes;
   }
 
-  result.io += source.TotalIo();
+  result.io = source.TotalIo() + dir_synthetic;
   // The build can only ever add I/O on top of the file's prior tally;
   // subtracting a larger "before" means the charging drifted somewhere.
   HDIDX_CHECK(result.io.page_seeks >= before.page_seeks &&
@@ -314,6 +651,8 @@ ExternalBuildResult BuildOnDisk(io::PagedFile* file,
       << "external build under-charged I/O";
   result.io.page_seeks -= before.page_seeks;
   result.io.page_transfers -= before.page_transfers;
+  // Every seek and transfer must be attributed to exactly one phase.
+  AuditExternalBuildIo(result.phases, result.io);
   return result;
 }
 

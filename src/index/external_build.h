@@ -17,14 +17,57 @@ struct ExternalBuildOptions {
   /// and the chunk size of the external passes. Must be at least the data
   /// page capacity.
   size_t memory_points = 0;
-  /// Execution resources, accepted for interface symmetry with the
-  /// in-memory build. The external point source declares itself
-  /// single-owner (PointSource::Concurrency), so BulkLoad never fans it
-  /// out: every PagedFile access — whose seek charging is order-sensitive —
-  /// happens on the calling thread in serial-recursion order, and the
-  /// resulting IoStats are identical for every thread count.
+  /// How the external partitioning works (see SplitStrategy). The classic
+  /// strategies drive the multi-pass external quickselect; kAdaptiveSample
+  /// replaces it with one sample pass choosing the whole split-plane tree
+  /// and one streaming classification pass with async read-ahead.
+  SplitStrategy split_strategy = SplitStrategy::kMaxVariance;
+  /// Tuning for kAdaptiveSample (ignored otherwise). BuildOnDisk overrides
+  /// adaptive.memory_points with `memory_points` so bucket placement always
+  /// matches the actual window.
+  AdaptiveOptions adaptive;
+  /// Execution resources. For the build *order* this is a no-op — the
+  /// external point source declares itself single-owner
+  /// (PointSource::Concurrency), so BulkLoad never fans it out: every
+  /// PagedFile access — whose seek charging is order-sensitive — happens on
+  /// the calling thread in serial-recursion order, and the resulting
+  /// IoStats are identical for every thread count. kAdaptiveSample
+  /// additionally borrows the context's ThreadPool for read-ahead prefetch,
+  /// which by the ReadAheadSource contract changes wall-clock overlap only,
+  /// never the accounting.
   const common::ExecutionContext* exec = nullptr;
 };
+
+/// Per-phase attribution of every seek and transfer an external build
+/// charges. The phases partition the build's total I/O exactly — see
+/// AuditExternalBuildIo — so a new code path that charges (or forgets to
+/// charge) I/O outside its phase is caught at build time, not in a drifted
+/// benchmark three PRs later.
+struct ExternalBuildIo {
+  /// Sample pass over the file choosing the split-plane tree
+  /// (kAdaptiveSample only; zero otherwise).
+  io::IoStats sample;
+  /// External repartitioning: quickselect classification passes through the
+  /// scratch file (classic strategies) or the streaming classification,
+  /// per-bucket staging, and gather reads (kAdaptiveSample).
+  io::IoStats partition;
+  /// In-memory finishing: M-point window loads and the leaf-order
+  /// write-back of finished subtrees.
+  io::IoStats finish;
+  /// The final sequential write of all directory pages.
+  io::IoStats directory;
+
+  io::IoStats Total() const { return sample + partition + finish + directory; }
+};
+
+/// CHECK-fails unless `phases` exactly accounts for `observed` (the total
+/// I/O delta measured on the build's files plus the synthesized directory
+/// write): each phase must be internally valid (IoStats::Validate) and the
+/// phase sum must equal the observation to the seek and the transfer.
+/// BuildOnDisk runs this on every build; exposed so tests can feed it
+/// corrupted tallies and pin the failure mode.
+void AuditExternalBuildIo(const ExternalBuildIo& phases,
+                          const io::IoStats& observed);
 
 /// Result of an on-disk bulk load: the finished tree plus every seek and
 /// page transfer the construction incurred (data passes, external
@@ -32,6 +75,13 @@ struct ExternalBuildOptions {
 struct ExternalBuildResult {
   RTree tree;
   io::IoStats io;
+  /// Where `io` came from, phase by phase (audited: phases sum to io).
+  ExternalBuildIo phases;
+  /// Fraction of streaming-classification chunks whose prefetch had already
+  /// completed when the consumer needed them (kAdaptiveSample with a
+  /// read-ahead window and a 2+ thread pool; 0 otherwise). Advisory
+  /// wall-clock measure — never part of the simulated cost.
+  double overlap_ratio = 0.0;
 };
 
 /// Bulk-loads the paper's "on-disk index tree" (Section 4.1) over `file`,
@@ -46,6 +96,16 @@ struct ExternalBuildResult {
 /// in memory, and the points are written back in leaf order — the data pages
 /// of a bulk-loaded R-tree are exactly this final point order. Directory
 /// pages are charged as one sequential write at the end.
+///
+/// With split_strategy == kAdaptiveSample the quickselect passes are
+/// replaced by the sample-first pipeline (index/adaptive_build.h): a sample
+/// pass chooses every split plane up front, a single streaming pass —
+/// prefetched by io/read_ahead.h — classifies each page's points into
+/// per-bucket staging runs on the scratch file, and the classified stream
+/// is gathered into the window one memory-sized group of whole bucket-level
+/// roots at a time and finished in memory. The whole build touches the data
+/// a constant number of times instead of once per quickselect pass per
+/// level.
 ///
 /// The file's contents are physically reordered into leaf order; the
 /// returned tree's order() is the identity.

@@ -1,0 +1,98 @@
+#include "io/read_ahead.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace hdidx::io {
+
+ReadAheadSource::ReadAheadSource(PagedFile* file, std::vector<Extent> plan,
+                                 size_t window, common::ThreadPool* pool)
+    : file_(file),
+      plan_(std::move(plan)),
+      dim_(file->dim()),
+      window_(pool != nullptr ? window : 0),
+      pool_(pool) {
+  size_t max_points = 0;
+  for (const Extent& e : plan_) {
+    HDIDX_CHECK(e.count > 0) << "read-ahead extent must be non-empty";
+    HDIDX_CHECK(e.start + e.count <= file_->size())
+        << "read-ahead extent [" << e.start << ", " << e.start + e.count
+        << ") exceeds file of " << file_->size() << " points";
+    max_points = std::max(max_points, e.count);
+  }
+  const size_t num_slots = window_ + 1;
+  slots_.reserve(num_slots);
+  for (size_t s = 0; s < num_slots; ++s) {
+    slots_.push_back(arena_.AllocateArray<float>(max_points * dim_));
+  }
+  {
+    common::MutexLock lock(&mu_);
+    slot_filled_.assign(num_slots, false);
+  }
+  // Prime the window: extents 0..window-1 go in flight immediately, leaving
+  // slot `window` free so Next(i) can always schedule i+window into the
+  // slot extent i-1 just vacated.
+  for (size_t i = 0; i < window_ && i < plan_.size(); ++i) Schedule(i);
+}
+
+ReadAheadSource::~ReadAheadSource() {
+  common::MutexLock lock(&mu_);
+  while (outstanding_fills_ > 0) cv_.Wait(mu_);
+}
+
+void ReadAheadSource::Fill(size_t index, size_t slot) {
+  const Extent& e = plan_[index];
+  // Unaccounted byte movement: the consumer charges this extent in plan
+  // order at Next() time, which is what keeps IoStats window-invariant.
+  std::memcpy(slots_[slot], file_->raw().data() + e.start * dim_,
+              e.count * dim_ * sizeof(float));
+  common::MutexLock lock(&mu_);
+  slot_filled_[slot] = true;
+  --outstanding_fills_;
+  cv_.NotifyAll();
+}
+
+void ReadAheadSource::Schedule(size_t index) {
+  const size_t slot = index % slots_.size();
+  {
+    common::MutexLock lock(&mu_);
+    slot_filled_[slot] = false;
+    ++outstanding_fills_;
+  }
+  if (window_ > 0) {
+    pool_->Submit([this, index, slot] { Fill(index, slot); });
+  } else {
+    Fill(index, slot);
+  }
+}
+
+std::span<const float> ReadAheadSource::Next() {
+  HDIDX_CHECK(cursor_ < plan_.size()) << "Next() past the planned extents";
+  const size_t index = cursor_++;
+  // The caller just released extent index-1's slot; refill it with the
+  // extent `window_` ahead (same slot by construction: both are congruent
+  // to index-1 modulo window_+1).
+  if (window_ == 0) {
+    Schedule(index);  // synchronous mode: fill right here, same slot path
+  } else if (index + window_ < plan_.size()) {
+    Schedule(index + window_);
+  }
+  const size_t slot = index % slots_.size();
+  {
+    common::MutexLock lock(&mu_);
+    if (window_ > 0 && slot_filled_[slot]) ++consumed_async_;
+    while (!slot_filled_[slot]) cv_.Wait(mu_);
+  }
+  const Extent& e = plan_[index];
+  file_->ChargeAccess(e.start, e.count);
+  return {slots_[slot], e.count * dim_};
+}
+
+double ReadAheadSource::overlap_ratio() const {
+  if (cursor_ == 0) return 0.0;
+  return static_cast<double>(consumed_async_) / static_cast<double>(cursor_);
+}
+
+}  // namespace hdidx::io

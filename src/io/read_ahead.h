@@ -1,0 +1,108 @@
+#ifndef HDIDX_IO_READ_AHEAD_H_
+#define HDIDX_IO_READ_AHEAD_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/mutex.h"
+#include "common/parallel.h"
+#include "common/thread_annotations.h"
+#include "io/paged_file.h"
+
+namespace hdidx::io {
+
+/// Asynchronous read-ahead over a planned sequence of point extents of one
+/// PagedFile: up to `window` extents ahead of the consumer are filled by
+/// prefetch tasks on a shared ThreadPool while the consumer processes the
+/// current one, so (simulated) build I/O overlaps partition compute.
+///
+/// Determinism contract — why IoStats stay window- and thread-invariant:
+/// prefetch tasks only *copy bytes* out of the file's unaccounted `raw()`
+/// span into arena-backed slot buffers; all accounting happens on the
+/// consumer thread inside Next(), which charges extent i via ChargeAccess in
+/// exact plan order regardless of when (or on which thread) the bytes
+/// actually landed. The seek-head walk the single-arm disk model sees is
+/// therefore identical for window 0 (fully synchronous) and any prefetch
+/// depth or pool size; only wall-clock overlap changes. `overlap_ratio()`
+/// reports that overlap and is advisory (it measures scheduling luck, never
+/// feeds the simulation).
+///
+/// Ownership contract (single owner, like the external PointSource): one
+/// consumer thread calls Next() sequentially; the span returned by Next()
+/// is valid until the next Next() call. The underlying file must not be
+/// written, resized, or charged by anyone else while the source is live —
+/// prefetch tasks read raw() concurrently, and the consumer owns the
+/// file's seek head. The destructor blocks until every scheduled fill has
+/// retired, so slot buffers never outlive their writers.
+///
+/// Internals are HDIDX_BUILD_ONLY: the source exists only during external
+/// index construction and is never reachable from concurrent-read paths.
+class ReadAheadSource {
+ public:
+  /// One planned read: `count` points starting at point index `start`.
+  struct Extent {
+    size_t start = 0;
+    size_t count = 0;
+  };
+
+  /// Prefetches up to `window` extents ahead on `pool`. A window of 0 (or a
+  /// null pool) disables prefetch: Next() then fills synchronously through
+  /// the identical slot path. Slot buffers (window + 1 of them, each sized
+  /// for the largest planned extent) come from an internally owned Arena.
+  HDIDX_BUILD_ONLY ReadAheadSource(PagedFile* file, std::vector<Extent> plan,
+                                   size_t window, common::ThreadPool* pool);
+  ~ReadAheadSource();
+
+  ReadAheadSource(const ReadAheadSource&) = delete;
+  ReadAheadSource& operator=(const ReadAheadSource&) = delete;
+
+  size_t num_extents() const { return plan_.size(); }
+  size_t dim() const { return dim_; }
+  bool done() const { return cursor_ == plan_.size(); }
+
+  /// The extent Next() will return, next in plan order.
+  const Extent& peek() const { return plan_[cursor_]; }
+
+  /// Blocks until the next extent's points are resident, charges its I/O
+  /// (seeks + transfers) on this thread, and returns its rows
+  /// (count * dim floats). Invalidates the previously returned span.
+  HDIDX_BUILD_ONLY std::span<const float> Next();
+
+  /// Fraction of consumed extents whose fill had already completed when the
+  /// consumer asked for them (pure overlap — no blocking). Advisory: a
+  /// wall-clock scheduling measure, never part of the simulated cost.
+  double overlap_ratio() const;
+
+ private:
+  /// Copies extent `index`'s rows from the file's raw span into `slot` and
+  /// publishes the fill. Runs on a pool worker (or inline when window == 0).
+  void Fill(size_t index, size_t slot);
+  /// Schedules extent `index` into its slot, if it exists.
+  void Schedule(size_t index);
+
+  PagedFile* const file_;
+  const std::vector<Extent> plan_;
+  const size_t dim_;
+  const size_t window_;
+  common::ThreadPool* const pool_;
+  // Arena and slot pointers are written only in the constructor; fill tasks
+  // and the consumer touch disjoint slots, hand-over synchronized through
+  // slot_filled_ below.
+  HDIDX_UNGUARDED common::Arena arena_;
+  HDIDX_UNGUARDED std::vector<float*> slots_;
+
+  // Consumer-thread-only (single-owner contract above).
+  HDIDX_UNGUARDED size_t cursor_ = 0;          // next extent to hand out
+  HDIDX_UNGUARDED size_t consumed_async_ = 0;  // fills done at Next() time
+
+  common::Mutex mu_;
+  common::CondVar cv_;
+  std::vector<bool> slot_filled_ HDIDX_GUARDED_BY(mu_);
+  size_t outstanding_fills_ HDIDX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace hdidx::io
+
+#endif  // HDIDX_IO_READ_AHEAD_H_

@@ -88,11 +88,15 @@ struct Connection {
   bool reading_paused HDIDX_UNGUARDED = false;
 };
 
-/// A predict waiting for its shard worker.
+/// A predict frame waiting for its shard worker, still encoded: the
+/// reactor only peeks the routing key (dataset → shard), so payload decode
+/// cost lands on the worker, not the shared event loop. The payload is
+/// copied out of the connection's inbound buffer, which the reactor
+/// compacts as soon as the frame is consumed.
 struct QueueItem {
   std::shared_ptr<Connection> conn;
-  ServiceRequest request;
-  bool per_query = false;
+  wire::FrameHeader header;
+  std::string payload;
 };
 
 /// Bounded admission queue in front of one shard worker. TryPush refuses
@@ -543,11 +547,23 @@ void AsyncServer::Impl::WorkerLoop(size_t shard) {
   ShardQueue& queue = *queues_[shard];
   QueueItem item;
   while (queue.Pop(&item)) {
-    const ServiceResponse response =
-        service_->ServeOnShard(shard, item.request);
-    served_.fetch_add(1, std::memory_order_relaxed);
-    SendFromWorker(item.conn, wire::EncodePredictResponse(response,
-                                                          item.per_query));
+    // Decode here, off the reactor. The frame boundary was already sound
+    // (NextFrame accepted it), so a decode failure only poisons this
+    // request: report against its id and leave the connection serving.
+    // Per-shard FIFO keeps the error in admission order relative to the
+    // connection's other predicts.
+    RequestLine request;
+    std::string error;
+    if (!wire::DecodeRequest(item.header, item.payload, &request, &error)) {
+      SendFromWorker(item.conn, wire::EncodeErrorFrame(item.header.id, error));
+    } else {
+      const ServiceResponse response =
+          service_->ServeOnShard(shard, request.predict);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      SendFromWorker(item.conn,
+                     wire::EncodePredictResponse(response,
+                                                 request.predict.per_query));
+    }
     queue.FinishItem();
     // Drop the connection reference before blocking on the next item.
     item = QueueItem{};
@@ -646,6 +662,37 @@ void AsyncServer::Impl::HandleFrame(Reactor& r,
                                     const std::shared_ptr<Connection>& conn,
                                     const wire::FrameHeader& header,
                                     std::string_view payload) {
+  if (header.op == wire::WireOp::kPredict &&
+      (header.flags & wire::kFlagResponse) == 0) {
+    // Predicts are the hot path: the reactor peeks only the routing key
+    // and hands the still-encoded frame to the shard worker, which decodes
+    // before serving. Admission control stays here so shed responses are
+    // deterministic under backpressure (a full queue answers immediately,
+    // in arrival order, regardless of worker progress).
+    std::string dataset;
+    if (!wire::PeekPredictDataset(payload, &dataset)) {
+      // Too short to carry a routing key — no shard to decode it on, so
+      // this is the one predict decode error reported from the reactor.
+      ReactorSend(r, conn,
+                  wire::EncodeErrorFrame(header.id,
+                                         "malformed predict payload"));
+      return;
+    }
+    const size_t shard = service_->registry().ShardOf(dataset);
+    QueueItem item;
+    item.conn = conn;
+    item.header = header;
+    item.payload = std::string(payload);
+    if (!queues_[shard]->TryPush(std::move(item))) {
+      ReactorSend(r, conn,
+                  wire::EncodeShedResponse(header.id,
+                                           static_cast<uint32_t>(shard),
+                                           options_.retry_after_ms));
+    }
+    return;
+  }
+  // Control-plane ops (load/stats/shutdown) are rare and tiny: decode and
+  // handle inline on the reactor.
   RequestLine request;
   std::string error;
   if (!wire::DecodeRequest(header, payload, &request, &error)) {
@@ -655,21 +702,9 @@ void AsyncServer::Impl::HandleFrame(Reactor& r,
     return;
   }
   switch (request.op) {
-    case RequestLine::Op::kPredict: {
-      const size_t shard =
-          service_->registry().ShardOf(request.predict.dataset);
-      QueueItem item;
-      item.conn = conn;
-      item.request = request.predict;
-      item.per_query = request.predict.per_query;
-      if (!queues_[shard]->TryPush(std::move(item))) {
-        ReactorSend(r, conn,
-                    wire::EncodeShedResponse(
-                        header.id, static_cast<uint32_t>(shard),
-                        options_.retry_after_ms));
-      }
+    case RequestLine::Op::kPredict:
+      // Unreachable: predicts took the peek-and-enqueue path above.
       break;
-    }
     case RequestLine::Op::kLoad:
       HandleLoad(r, conn, header.id, request);
       break;

@@ -34,13 +34,19 @@ struct AsyncServerOptions {
 /// Epoll-based binary-protocol front-end over a PredictionService.
 ///
 /// Architecture: one non-blocking acceptor thread round-robins incoming
-/// connections across `num_reactors` epoll event loops; reactors read and
-/// frame requests (see wire.h) and enqueue predicts onto bounded per-shard
-/// queues drained by one worker thread per shard, which serves via
-/// PredictionService::ServeOnShard and hands the encoded response back to
-/// the owning reactor to write. Connections are fully pipelined: any
-/// number of in-flight requests, responses matched by frame id (responses
-/// may interleave across shards, not within one).
+/// connections across `num_reactors` epoll event loops; reactors only read
+/// and frame requests (see wire.h) — for predicts they peek the leading
+/// dataset string to pick a shard and enqueue the still-encoded frame onto
+/// that shard's bounded queue, so payload decode runs on the shard worker,
+/// not the shared event loop. One worker thread per shard decodes, serves
+/// via PredictionService::ServeOnShard, and hands the encoded response back
+/// to the owning reactor to write. A well-framed payload that fails to
+/// decode on the worker is answered with a kError frame echoing the id,
+/// in per-shard FIFO order, and the connection keeps serving (the
+/// two-level error contract of wire.h is placement-invariant). Control
+/// ops (load/stats/shutdown) stay reactor-inline. Connections are fully
+/// pipelined: any number of in-flight requests, responses matched by frame
+/// id (responses may interleave across shards, not within one).
 ///
 /// Admission control: a predict that finds its shard queue full is
 /// answered immediately with a kFlagShed frame carrying retry_after_ms;

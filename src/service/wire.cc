@@ -262,6 +262,11 @@ std::string EncodeShutdownRequest(uint64_t id) {
   return EncodeFrame(WireOp::kShutdown, 0, id, {});
 }
 
+bool PeekPredictDataset(std::string_view payload, std::string* dataset) {
+  WireReader reader(payload);
+  return reader.ReadString(dataset);
+}
+
 bool DecodeRequest(const FrameHeader& header, std::string_view payload,
                    RequestLine* out, std::string* error) {
   if ((header.flags & kFlagResponse) != 0) {

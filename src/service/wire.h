@@ -158,6 +158,12 @@ std::string EncodeShutdownRequest(uint64_t id);
 bool DecodeRequest(const FrameHeader& header, std::string_view payload,
                    RequestLine* out, std::string* error);
 
+/// Reads just the leading dataset string of a predict request payload (the
+/// routing key — enough for a reactor to pick the target shard without
+/// decoding the rest). Returns false when the payload is too short to hold
+/// it; full validation stays with DecodeRequest on the worker.
+bool PeekPredictDataset(std::string_view payload, std::string* dataset);
+
 // --- response frames ----------------------------------------------------
 
 std::string EncodePredictResponse(const ServiceResponse& response,

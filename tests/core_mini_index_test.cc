@@ -96,8 +96,9 @@ TEST_F(MiniIndexTest, ErrorShrinksWithSampleSize) {
 }
 
 TEST_F(MiniIndexTest, StructuralSimilarityOfLeafCount) {
-  const auto leaves = BuildGrownMiniIndexLeaves(
-      data_, *topo_, MiniIndexParams{.sampling_fraction = 0.1});
+  MiniIndexParams params;
+  params.sampling_fraction = 0.1;
+  const auto leaves = BuildGrownMiniIndexLeaves(data_, *topo_, params);
   // Within a few leaves of the full index's count.
   EXPECT_NEAR(static_cast<double>(leaves.size()),
               static_cast<double>(topo_->NumLeaves()),
@@ -111,6 +112,53 @@ TEST_F(MiniIndexTest, IoIsZeroForInMemoryModel) {
       PredictWithMiniIndex(data_, *topo_, *workload_, params);
   EXPECT_EQ(result.io.page_seeks, 0u);
   EXPECT_EQ(result.io.page_transfers, 0u);
+}
+
+TEST_F(MiniIndexTest, AdaptiveBuiltTreePredictedWithinFivePercent) {
+  // The predictor must model kAdaptiveSample layouts too: measure leaf
+  // accesses on a full adaptive-built index, predict with a mini-index
+  // built by the same strategy, and require < 5% average error across
+  // sample seeds (the issue's acceptance bar for the new layout).
+  index::BulkLoadOptions options;
+  options.topology = topo_.get();
+  options.split_strategy = index::SplitStrategy::kAdaptiveSample;
+  const index::RTree tree = index::BulkLoadInMemory(data_, options);
+  const auto counts = index::CountSphereLeafAccesses(
+      tree, workload_->queries(), workload_->radii(), nullptr);
+  const double measured = common::Mean(counts);
+
+  MiniIndexParams params;
+  params.split_strategy = index::SplitStrategy::kAdaptiveSample;
+  params.sampling_fraction = 0.5;
+  double total_rel = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    params.seed = seed;
+    total_rel += std::abs(common::RelativeError(
+        PredictWithMiniIndex(data_, *topo_, *workload_, params)
+            .avg_leaf_accesses,
+        measured));
+  }
+  EXPECT_LT(total_rel / 3.0, 0.05);
+}
+
+TEST_F(MiniIndexTest, AdaptiveFullSampleReproducesMeasurementExactly) {
+  // zeta = 1 must degenerate to the measurement itself, exactly as for
+  // VAMSplit — pins that the mini build really runs the adaptive pipeline
+  // (same split planes from the same full "sample").
+  index::BulkLoadOptions options;
+  options.topology = topo_.get();
+  options.split_strategy = index::SplitStrategy::kAdaptiveSample;
+  const index::RTree tree = index::BulkLoadInMemory(data_, options);
+  const auto counts = index::CountSphereLeafAccesses(
+      tree, workload_->queries(), workload_->radii(), nullptr);
+  const double measured = common::Mean(counts);
+
+  MiniIndexParams params;
+  params.split_strategy = index::SplitStrategy::kAdaptiveSample;
+  params.sampling_fraction = 1.0;
+  const PredictionResult result =
+      PredictWithMiniIndex(data_, *topo_, *workload_, params);
+  EXPECT_NEAR(result.avg_leaf_accesses, measured, 1e-9);
 }
 
 TEST(MiniIndexClusteredTest, WorksOnClusteredData) {

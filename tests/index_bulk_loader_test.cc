@@ -194,6 +194,8 @@ class BulkLoaderParallelTest : public ::testing::TestWithParam<SplitStrategy> {
         return "max-extent";
       case SplitStrategy::kRoundRobin:
         return "round-robin";
+      case SplitStrategy::kAdaptiveSample:
+        return "adaptive-sample";
     }
     return "?";
   }
@@ -267,7 +269,8 @@ TEST_P(BulkLoaderParallelTest, UpperTreeAndScaledBuildsBitIdentical) {
 INSTANTIATE_TEST_SUITE_P(AllStrategies, BulkLoaderParallelTest,
                          ::testing::Values(SplitStrategy::kMaxVariance,
                                            SplitStrategy::kMaxExtent,
-                                           SplitStrategy::kRoundRobin),
+                                           SplitStrategy::kRoundRobin,
+                                           SplitStrategy::kAdaptiveSample),
                          [](const auto& param_info) {
                            switch (param_info.param) {
                              case SplitStrategy::kMaxVariance:
@@ -276,6 +279,8 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, BulkLoaderParallelTest,
                                return "MaxExtent";
                              case SplitStrategy::kRoundRobin:
                                return "RoundRobin";
+                             case SplitStrategy::kAdaptiveSample:
+                               return "AdaptiveSample";
                            }
                            return "Unknown";
                          });

@@ -606,6 +606,58 @@ TEST(AsyncServerTest, MalformedStreamsRejectedWithoutTakingTheServerDown) {
   EXPECT_EQ(ShutdownAndWait(&client, &server), 1u);
 }
 
+TEST(AsyncServerTest, WorkerDecodeErrorsKeepIdAndOrderAndSkipServedCount) {
+  // Predict payloads are decoded on the shard worker, not the reactor.
+  // A payload that routes fine (valid leading dataset string) but fails
+  // the full decode must still produce a kError echoing the id, ordered
+  // FIFO against the same connection's other predicts on that shard, and
+  // the connection must keep serving. Interleave bad and good predicts and
+  // check ids come back in admission order.
+  auto svc = MakeService(1);
+  AsyncServer server(svc.get(), AsyncServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  WireClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+
+  // Routing key present, rest of the payload truncated: the reactor's
+  // peek succeeds, the worker's DecodeRequest fails.
+  std::string bad_payload;
+  wire::AppendString(&bad_payload, "alpha");
+  ASSERT_TRUE(client.Send(
+      wire::EncodeFrame(wire::WireOp::kPredict, 0, 101, bad_payload)));
+  ASSERT_TRUE(client.Send(wire::EncodePredictRequest(Req("alpha", "mini", 1,
+                                                         102))));
+  ASSERT_TRUE(client.Send(
+      wire::EncodeFrame(wire::WireOp::kPredict, 0, 103, bad_payload)));
+  ASSERT_TRUE(client.Send(wire::EncodePredictRequest(Req("alpha", "mini", 2,
+                                                         104))));
+
+  for (const uint64_t expected_id : {101, 102, 103, 104}) {
+    wire::FrameHeader header;
+    std::string payload;
+    ASSERT_TRUE(client.Read(&header, &payload, &error)) << error;
+    EXPECT_EQ(header.id, expected_id);
+    if (expected_id % 2 == 1) {
+      std::string message;
+      ASSERT_TRUE(
+          wire::DecodeErrorFrame(header, payload, &message, &error))
+          << error;
+      EXPECT_NE(message.find("predict"), std::string::npos) << message;
+    } else {
+      wire::PredictReply reply;
+      ASSERT_TRUE(
+          wire::DecodePredictResponse(header, payload, &reply, &error))
+          << error;
+      EXPECT_TRUE(reply.response.ok) << reply.response.error;
+    }
+  }
+
+  // Only the two well-formed predicts count as served.
+  EXPECT_EQ(ShutdownAndWait(&client, &server), 2u);
+}
+
 TEST(AsyncServerFuzzTest, RandomStreamsNeverCrashTheServer) {
   auto svc = MakeService(2);
   AsyncServer server(svc.get(), AsyncServerOptions{});

@@ -49,6 +49,8 @@ FrameStatus ExtractAndDecode(std::string_view bytes) {
   DecodeShutdownResponse(header, payload, &served, &error);
   std::string message;
   DecodeErrorFrame(header, payload, &message, &error);
+  std::string dataset;
+  PeekPredictDataset(payload, &dataset);
   return status;
 }
 
@@ -462,6 +464,52 @@ TEST(WireReaderTest, OverrunsFailSticky) {
   std::vector<double> doubles;
   EXPECT_FALSE(tiny.ReadF64Array(1u << 30, &doubles));
   EXPECT_TRUE(doubles.empty());
+}
+
+TEST(WirePeekTest, PeekAgreesWithFullDecodeAndFailsOnTruncation) {
+  // The reactor routes predicts by peeking only the leading dataset
+  // string; the worker then runs the full decode. The two must agree on
+  // every well-formed predict frame, and the peek must refuse exactly the
+  // payloads too short to carry the routing key.
+  ServiceRequest predict;
+  predict.id = 21;
+  predict.dataset = "texture60";
+  predict.method = "resampled";
+  const std::string frame = EncodePredictRequest(predict);
+  const std::string_view payload(frame.data() + kHeaderBytes,
+                                 frame.size() - kHeaderBytes);
+
+  std::string peeked;
+  ASSERT_TRUE(PeekPredictDataset(payload, &peeked));
+  FrameHeader header;
+  header.op = WireOp::kPredict;
+  header.id = predict.id;
+  RequestLine request;
+  std::string error;
+  ASSERT_TRUE(DecodeRequest(header, payload, &request, &error));
+  EXPECT_EQ(peeked, request.predict.dataset);
+
+  // Every truncation that cuts into the length prefix or the string bytes
+  // fails; anything at or past the full string still peeks successfully.
+  const size_t need = 2 + predict.dataset.size();
+  for (size_t len = 0; len <= payload.size(); ++len) {
+    std::string name;
+    EXPECT_EQ(PeekPredictDataset(payload.substr(0, len), &name), len >= need)
+        << "truncated to " << len;
+  }
+}
+
+TEST(WirePeekTest, PeekNeverCrashesOnGarbage) {
+  common::Rng rng(31);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bytes;
+    const size_t len = rng.NextBounded(40);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    std::string dataset;
+    PeekPredictDataset(bytes, &dataset);
+  }
 }
 
 // --- seeded malformed-frame fuzz corpus ---------------------------------

@@ -10,9 +10,17 @@ BM_ExactKthScan, BM_SlabBuild) with their custom counters:
       of the input shape, so any drift means the kernel started reading a
       different working set, not that the machine got slower.
 
-Timings move with the host, so this gate is advisory by default
-(--max-regression inf): CI prints the table and warns. bytes_touched drift
-is always an error — it is machine-independent.
+It also pins the external-build I/O counters (BM_ExternalBuild):
+
+  data_passes / pages_read — the simulated page transfers of an on-disk
+      bulk load, normalized and raw. Deterministic functions of the build
+      pipeline, so they gate exactly like bytes_touched.
+
+Timings move with the host, so the timing gate is advisory by default
+(--max-regression inf): CI prints the table and warns. Drift in any exact
+counter (bytes_touched, data_passes, pages_read) is always an error — they
+are machine-independent. speedup_vs_vamsplit is wall-clock and therefore
+never gated.
 
 Usage:
   bench_micro --benchmark_filter='...' --benchmark_format=json > run.json
@@ -34,7 +42,8 @@ import sys
 
 # Rows whose benchmark errored (e.g. "neon not supported on this host")
 # are skipped: availability depends on the machine, not the code.
-COMPARED_COUNTERS = ("speedup_vs_pr5", "bytes_touched")
+# Machine-independent counters: any drift is a hard error.
+EXACT_COUNTERS = ("bytes_touched", "data_passes", "pages_read")
 
 
 def load_rows(path_or_obj):
@@ -68,22 +77,29 @@ def compare(baseline_rows, run_rows, max_regression):
         warnings.append(f"run row not in baseline: {name}")
 
     lines.append(f"{'benchmark':<48} {'speedup_vs_pr5':>18} "
-                 f"{'bytes_touched':>16}")
+                 f"{'exact counters':>22}")
     for name in common:
         base, run = baseline_rows[name], run_rows[name]
 
-        base_bytes = base.get("bytes_touched")
-        run_bytes = run.get("bytes_touched")
-        bytes_note = "-"
-        if base_bytes is not None and run_bytes is not None:
-            if run_bytes != base_bytes:
-                bytes_note = f"{base_bytes:.0f} -> {run_bytes:.0f}"
+        exact_notes = []
+        compared = 0
+        for counter in EXACT_COUNTERS:
+            base_value = base.get(counter)
+            run_value = run.get(counter)
+            if base_value is None or run_value is None:
+                continue
+            compared += 1
+            if run_value != base_value:
+                exact_notes.append(
+                    f"{counter} {base_value:g} -> {run_value:g}")
                 errors.append(
-                    f"{name}: bytes_touched drifted "
-                    f"{base_bytes:.0f} -> {run_bytes:.0f}; the kernel "
-                    f"reads a different working set than the baseline")
-            else:
-                bytes_note = "="
+                    f"{name}: {counter} drifted "
+                    f"{base_value:g} -> {run_value:g}; the code touches "
+                    f"different pages/bytes than the baseline")
+        if exact_notes:
+            bytes_note = ", ".join(exact_notes)
+        else:
+            bytes_note = "=" if compared else "-"
 
         base_speed = base.get("speedup_vs_pr5")
         run_speed = run.get("speedup_vs_pr5")
@@ -136,6 +152,21 @@ def selftest():
     assert any("bytes_touched drifted" in e for e in errors), errors
     assert any("BM_Gone" in w for w in warnings), warnings
     assert any("BM_New" in w for w in warnings), warnings
+
+    # External-build I/O counters gate exactly; wall-clock speedup does not.
+    ext_base = doc([
+        {"name": "BM_Ext/1", "data_passes": 5.5, "pages_read": 2200.0,
+         "speedup_vs_vamsplit": 1.9},
+    ])
+    ext_run = doc([
+        {"name": "BM_Ext/1", "data_passes": 7.5, "pages_read": 3000.0,
+         "speedup_vs_vamsplit": 0.4},
+    ])
+    _, _, errors = compare(load_rows(ext_base), load_rows(ext_run),
+                           max_regression=math.inf)
+    assert any("data_passes drifted" in e for e in errors), errors
+    assert any("pages_read drifted" in e for e in errors), errors
+    assert not any("speedup_vs_vamsplit" in e for e in errors), errors
 
     # Speedup collapse: warn when advisory, error when gated.
     run = doc([

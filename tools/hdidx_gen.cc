@@ -15,6 +15,8 @@
 // dataset on the process-wide pool (so --threads / HDIDX_THREADS drive the
 // parallel build) and prints its layout digest — the same value for every
 // thread count, making the build determinism checkable from the shell.
+// --split picks the split strategy (maxvar, maxextent, roundrobin, or the
+// sample-first adaptive pipeline).
 
 #include <cstdio>
 #include <string>
@@ -31,6 +33,7 @@ constexpr char kUsage[] =
     "usage: hdidx_gen --out FILE --kind KIND [--n N] [--seed S]\n"
     "                 [--dim D] [--clusters C] [--intrinsic I] [--noise F]\n"
     "                 [--threads T] [--digest] [--data-cap C] [--dir-cap C]\n"
+    "                 [--split maxvar|maxextent|roundrobin|adaptive]\n"
     "       kinds: color64 texture48 texture60 landsat "
     "isolet617 stock360 uniform clustered\n";
 
@@ -39,7 +42,7 @@ int main(int argc, char** argv) {
   const tools::Flags flags(argc, argv,
                            {"out", "kind", "n", "seed", "dim", "clusters",
                             "intrinsic", "noise", "threads", "digest",
-                            "data-cap", "dir-cap"});
+                            "data-cap", "dir-cap", "split"});
   flags.ExitOnError(kUsage);
   tools::ApplyThreadsFlag(flags);
 
@@ -97,9 +100,22 @@ int main(int argc, char** argv) {
   if (flags.GetBool("digest")) {
     const size_t data_cap = flags.GetUint("data-cap", 33);
     const size_t dir_cap = flags.GetUint("dir-cap", 16);
+    const std::string split = flags.GetString("split", "maxvar");
     const index::TreeTopology topology(dataset.size(), data_cap, dir_cap);
     index::BulkLoadOptions options;
     options.topology = &topology;
+    if (split == "maxvar") {
+      options.split_strategy = index::SplitStrategy::kMaxVariance;
+    } else if (split == "maxextent") {
+      options.split_strategy = index::SplitStrategy::kMaxExtent;
+    } else if (split == "roundrobin") {
+      options.split_strategy = index::SplitStrategy::kRoundRobin;
+    } else if (split == "adaptive") {
+      options.split_strategy = index::SplitStrategy::kAdaptiveSample;
+    } else {
+      std::fprintf(stderr, "unknown split strategy: %s\n", split.c_str());
+      return 2;
+    }
     options.exec = &common::DefaultExecutionContext();
     const index::RTree tree = index::BulkLoadInMemory(dataset, options);
     std::printf("layout digest: %016llx (%zu nodes, %zu threads)\n",
